@@ -1,0 +1,69 @@
+"""Ablation — load-balancer policy (the paper's future-work item 1).
+
+"Patches are collated and distributed among processors to maximize
+load-balance while keeping parents and children on the same processors."
+The two built-in policies trade those goals: greedy-LPT minimizes
+imbalance, Morton-SFC maximizes locality.  This bench measures both
+metrics for both policies on a realistic clustered patch set.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table, save_report
+from repro.samr import Box, cluster_flags
+from repro.samr.loadbalance import balance_greedy, balance_sfc, load_imbalance
+
+
+def _clustered_boxes(n=96, seed=3):
+    """Patch set from clustering a synthetic flame-front flag field."""
+    rng = np.random.default_rng(seed)
+    flags = np.zeros((n, n), dtype=bool)
+    t = np.linspace(0, 2 * np.pi, 400)
+    cx, cy = n // 2, n // 2
+    r = n * 0.3 * (1.0 + 0.2 * np.sin(5 * t))
+    i = np.clip((cx + r * np.cos(t)).astype(int), 0, n - 1)
+    j = np.clip((cy + r * np.sin(t)).astype(int), 0, n - 1)
+    flags[i, j] = True
+    return cluster_flags(flags, min_efficiency=0.6, max_size=16, min_size=4)
+
+
+def _locality(boxes, owners, nranks):
+    """Fraction of adjacent box pairs sharing a rank (parent-child
+    co-location proxy)."""
+    pairs = same = 0
+    for i, a in enumerate(boxes):
+        for j in range(i + 1, len(boxes)):
+            if a.grow(1).intersects(boxes[j]):
+                pairs += 1
+                same += owners[i] == owners[j]
+    return same / pairs if pairs else 1.0
+
+
+def run_ablation(nranks=8):
+    boxes = _clustered_boxes()
+    rows = []
+    metrics = {}
+    for name, fn in (("greedy-lpt", balance_greedy),
+                     ("morton-sfc", balance_sfc)):
+        owners = fn(boxes, nranks)
+        imb = load_imbalance(boxes, owners, nranks)
+        loc = _locality(boxes, owners, nranks)
+        metrics[name] = (imb, loc)
+        rows.append([name, len(boxes), imb, loc])
+    report = format_table(
+        ["policy", "patches", "imbalance (max/mean)", "neighbour locality"],
+        rows, title=f"Ablation: load balancer policy ({nranks} ranks)")
+    return {"metrics": metrics, "report": report, "n_boxes": len(boxes)}
+
+
+def test_ablation_load_balancer(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_report("ablation_balancer", result["report"])
+    assert result["n_boxes"] >= 8
+    greedy_imb, greedy_loc = result["metrics"]["greedy-lpt"]
+    sfc_imb, sfc_loc = result["metrics"]["morton-sfc"]
+    # the trade-off the paper's load-balancing discussion implies:
+    assert greedy_imb <= sfc_imb + 1e-9      # greedy balances better...
+    assert sfc_loc >= greedy_loc - 1e-9      # ...SFC keeps neighbours local
+    assert greedy_imb < 1.5
+    assert sfc_loc > 0.3

@@ -1,0 +1,28 @@
+"""Fig 6 — the shock-interface density field at t/tau = 2.096.
+
+Paper claims: reflected shocks are visible after the interaction, the
+interface (zeta = 0.5 band) survives as a coherent feature, and the steep
+density/pressure gradients live on the finest AMR level.
+"""
+
+from repro.bench import run_fig6, save_report
+from repro.util.options import fast_mode
+
+
+def test_fig6_density_field(benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    path = save_report("fig6_density_field", result["report"])
+    benchmark.extra_info["report"] = path
+    rho_min, rho_max = result["rho_range"]
+    # density spans quiescent air to shocked Freon
+    assert rho_min > 0.5
+    assert rho_max > 3.0          # beyond the initial Freon density
+    # reflected shocks: pressure above the incident post-shock value
+    assert result["reflected_shocks"]
+    # the interface band exists (numerically smeared zeta transition)
+    assert result["result"]["circulation_final"] < 0.0
+    if not fast_mode():
+        # steep gradients refined: the finest level holds cells
+        census = result["census"]
+        assert len(census) >= 2
+        assert census[-1][2] > 0

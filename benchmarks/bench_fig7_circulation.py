@@ -1,0 +1,26 @@
+"""Fig 7 — convergence of the interfacial circulation with refinement.
+
+Paper claims: the deposited circulation deepens with mesh refinement, the
+2- and 3-level runs nearly coincide ("no appreciable difference"), and the
+maximum deposition is closest to the analytic estimate for the deepest
+hierarchy.
+"""
+
+from repro.bench import run_fig7, save_report
+from repro.util.options import fast_mode
+
+
+def test_fig7_circulation_convergence(benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    path = save_report("fig7_circulation", result["report"])
+    benchmark.extra_info["report"] = path
+    curves = result["curves"]
+    # negative (baroclinic) deposition on every hierarchy
+    for nlev, c in curves.items():
+        assert c["min"] < 0.0
+    # deposition deepens with refinement
+    assert result["monotone"]
+    # the two finest hierarchies approach each other (convergence);
+    # the fast two-level smoke keeps a looser band
+    limit = 0.35 if fast_mode() else 0.25
+    assert result["finest_gap"] < limit

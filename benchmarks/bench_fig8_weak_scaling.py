@@ -1,0 +1,22 @@
+"""Fig 8 — run time vs processor count at constant per-processor workload.
+
+Paper claim: "increasing the number of processors (and the problem size)
+does not make an appreciable difference" — the curves are flat in P.
+"""
+
+from repro.bench import run_fig8, save_report
+
+
+def test_fig8_constant_workload_flat(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    path = save_report("fig8_weak_scaling", result["report"])
+    benchmark.extra_info["report"] = path
+    # flat curves: max/min over the P sweep stays near 1 for every size
+    # (the sweep caps at P = 16 — see repro.bench.scaling for the
+    # one-core emulation caveat beyond that)
+    for n_local, ratio in result["flatness"].items():
+        assert ratio < 1.6, f"size {n_local}: T varies {ratio:.2f}x over P"
+    # curves are ordered by per-rank problem size
+    results = result["results"]
+    for a, b in zip(results, results[1:]):
+        assert max(a.times) < min(b.times)

@@ -1,0 +1,24 @@
+"""Table 4 — single-processor component overhead.
+
+Paper claim: componentized and library builds of the same 0D chemistry
+workload differ by at most ~1.5% with no systematic trend — port
+indirection does not hurt serial performance.
+"""
+
+from repro.bench import run_table4, save_report
+
+
+def test_table4_component_overhead(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    path = save_report("table4_overhead", result["report"])
+    benchmark.extra_info["report"] = path
+    benchmark.extra_info["max_abs_pct"] = result["max_abs_pct"]
+    rows = result["rows"]
+    assert len(rows) >= 4
+    # the architectural claim: overhead is small in both directions...
+    assert result["max_abs_pct"] < 10.0
+    # ...and shows no trend (not all rows favour the same variant, or the
+    # mean offset is well inside the noise band)
+    diffs = [r.pct_diff for r in rows]
+    mean = sum(diffs) / len(diffs)
+    assert abs(mean) < 5.0

@@ -1,0 +1,27 @@
+"""Table 5 — weak-scaling run-time statistics of the reaction-diffusion
+code (mean / median / stdev across machine sizes, per per-rank mesh).
+
+Paper claims: the machine behaves "homogeneous" (small stdev relative to
+the mean — no jumps as the job spreads), and run times scale with the
+per-processor problem size.
+"""
+
+from repro.bench import run_table5, save_report
+
+
+def test_table5_weak_scaling_statistics(benchmark):
+    result = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    path = save_report("table5_weak_scaling", result["report"])
+    benchmark.extra_info["report"] = path
+    results = result["results"]
+    # homogeneity: stdev well below the mean for every size
+    for r in results:
+        assert r.stdev < 0.25 * r.mean
+    # run time tracks per-rank problem size (monotone in cell count)
+    means = [r.mean for r in results]
+    assert all(b > a for a, b in zip(means, means[1:]))
+    # ratios lean toward the cell-count ratio (Python fixed overhead
+    # pulls small sizes below the ideal square law; cache effects can
+    # push slightly above it)
+    for _b, _a, got, expect in result["ratios"]:
+        assert 1.3 < got <= expect * 1.4

@@ -1,0 +1,7 @@
+"""Benchmark configuration.
+
+Benchmarks run at full scale by default; export ``REPRO_FAST=1`` for a
+quick smoke pass.  Every harness writes its rendered table to
+``bench_results/<name>.txt`` in addition to asserting the paper's
+qualitative claims.
+"""

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""The shock / density-interface interaction (paper §4.3, scaled down).
+
+A Mach-1.5 shock ruptures a 30-degree interface to a 3x-denser gas; the
+run is repeated with the GodunovFlux component replaced by EFMFlux — the
+paper's headline demonstration that components swap without recompiling.
+
+Run:  python examples/shock_interface_amr.py
+"""
+
+from repro.apps import run_shock_interface
+from repro.apps.assemblies import format_assembly_table
+
+
+def run(flux_scheme: str) -> dict:
+    return run_shock_interface(
+        nx=64,
+        ny=32,
+        max_levels=2,
+        flux_scheme=flux_scheme,
+        t_end_over_tau=1.0,
+        regrid_interval=3,
+        initial_regrids=1,
+    )
+
+
+def main() -> None:
+    print(format_assembly_table("shock_interface"))
+    print()
+    for scheme in ("godunov", "efm"):
+        result = run(scheme)
+        print(f"[{scheme:8s}] steps={result['steps']:4d}  "
+              f"levels={result['nlevels']}  cells={result['total_cells']:6d}  "
+              f"Gamma_min={result['circulation_min']:+.4f}")
+    print()
+    print("circulation deposition history (godunov):")
+    result = run("godunov")
+    for t_over_tau, circ in result["circulation"][:: max(1, len(result['circulation']) // 15)]:
+        bar = "#" * int(min(abs(circ) * 300, 60))
+        print(f"  t/tau={t_over_tau:6.3f}   Gamma={circ:+.4f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

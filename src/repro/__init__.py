@@ -1,0 +1,36 @@
+"""repro — a CCA-componentized SAMR hydrodynamics toolkit.
+
+This package is a from-scratch Python reproduction of the system described
+in *"Using the Common Component Architecture to Design High Performance
+Scientific Simulation Codes"* (Lefantzi, Ray, Najm — IPDPS 2003).
+
+Layered architecture (bottom-up):
+
+``repro.util``
+    Small shared utilities (options, logging, timing).
+``repro.mpi``
+    In-process SCMD/MPI-1 substrate with a virtual-time machine model.
+``repro.samr``
+    Structured adaptive mesh refinement data manager (GrACE analog).
+``repro.chemistry`` / ``repro.transport``
+    Thermochemistry (NASA-7 + Arrhenius kinetics) and mixture-averaged
+    transport properties (DRFM analog).
+``repro.integrators``
+    CVODE-like BDF/Adams stiff integrator, RKC, SSP-RK2.
+``repro.hydro``
+    Compressible Euler finite-volume kernels (Godunov + EFM fluxes).
+``repro.cca``
+    The component framework itself (CCAFFEINE analog): ports, components,
+    services, script-driven assembly, SCMD multiplexer.
+``repro.components``
+    The paper's concrete components, wrapping the substrates above.
+``repro.apps``
+    The three applications: 0D ignition, 2D reaction-diffusion, 2D
+    shock-interface interaction.
+``repro.bench``
+    Harnesses regenerating every table and figure of the paper.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,47 @@
+"""The three applications assembled from the component set.
+
+* :mod:`repro.apps.ignition0d` — 0D homogeneous H2-air ignition (paper
+  §4.1, Table 1, Fig. 1).
+* :mod:`repro.apps.reaction_diffusion` — 2D reaction-diffusion flame with
+  SAMR (§4.2, Table 2, Figs. 2-4).
+* :mod:`repro.apps.shock_interface` — 2D shock / density-interface
+  interaction (§4.3, Table 3, Figs. 5-7).
+* :mod:`repro.apps.assemblies` — rc-script texts and the subsystem ->
+  component maps (the paper's Tables 1-3).
+"""
+
+from repro.apps.ignition0d import (
+    Ignition0DDriver,
+    build_ignition0d,
+    run_ignition0d,
+)
+from repro.apps.reaction_diffusion import (
+    ReactionDiffusionDriver,
+    build_reaction_diffusion,
+    run_reaction_diffusion,
+)
+from repro.apps.shock_interface import (
+    ShockInterfaceDriver,
+    build_shock_interface,
+    run_shock_interface,
+)
+from repro.apps.assemblies import (
+    IGNITION0D_SCRIPT,
+    assembly_table,
+    describe_assembly,
+)
+
+__all__ = [
+    "Ignition0DDriver",
+    "build_ignition0d",
+    "run_ignition0d",
+    "ReactionDiffusionDriver",
+    "build_reaction_diffusion",
+    "run_reaction_diffusion",
+    "ShockInterfaceDriver",
+    "build_shock_interface",
+    "run_shock_interface",
+    "IGNITION0D_SCRIPT",
+    "assembly_table",
+    "describe_assembly",
+]

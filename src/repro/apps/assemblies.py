@@ -1,0 +1,120 @@
+"""Assembly scripts and subsystem -> component maps (paper Tables 1-3).
+
+``IGNITION0D_SCRIPT`` shows the rc-script path end to end; the SAMR
+applications are wired programmatically (their builders take numeric
+options), and ``describe_assembly`` dumps any framework's wiring — the
+textual analog of the GUI "arena" screenshots (Figs. 1, 2, 5).
+"""
+
+from __future__ import annotations
+
+from repro.cca.framework import Framework
+
+#: rc-script for the 0D ignition code (Fig. 1).
+IGNITION0D_SCRIPT = """\
+#!ccaffeine bootstrap file
+repository get-global Initializer
+repository get-global ThermoChemistry
+repository get-global ProblemModeler
+repository get-global DPDt
+repository get-global CvodeComponent
+repository get-global StatisticsComponent
+repository get-global Ignition0DDriver
+
+instantiate Initializer Initializer
+instantiate ThermoChemistry ThermoChemistry
+instantiate ProblemModeler problemModeler
+instantiate DPDt dPdt
+instantiate CvodeComponent CvodeComponent
+instantiate StatisticsComponent Statistics
+instantiate Ignition0DDriver Driver
+
+parameter ThermoChemistry mechanism h2-air
+parameter Initializer T0 1000.0
+parameter Initializer P0 101325.0
+parameter CvodeComponent rtol 1e-8
+parameter CvodeComponent atol 1e-12
+parameter Driver t_end 0.001
+
+connect Initializer chem ThermoChemistry chemistry
+connect dPdt chem ThermoChemistry chemistry
+connect problemModeler chem ThermoChemistry chemistry
+connect problemModeler dpdt dPdt dpdt
+connect CvodeComponent rhs problemModeler model
+connect Driver ic Initializer ic
+connect Driver solver CvodeComponent solver
+connect Driver model problemModeler model
+connect Driver chem ThermoChemistry chemistry
+connect Driver stats Statistics stats
+
+go Driver
+"""
+
+#: paper Table 1 — 0D ignition component design.
+TABLE1_0D_IGNITION = {
+    "Mesh": ["N/A"],
+    "Data Object": ["N/A"],
+    "Initial Condition": ["Initializer"],
+    "Explicit Integration": ["N/A"],
+    "Implicit Integration": ["CvodeComponent", "ThermoChemistry"],
+    "Boundary Condition": ["problemModeler", "dPdt"],
+    "Database": ["ThermoChemistry"],
+    "Adaptors": ["problemModeler"],
+}
+
+#: paper Table 2 — reaction-diffusion component design.
+TABLE2_REACTION_DIFFUSION = {
+    "Mesh": ["GrACEComponent"],
+    "Data Object": ["GrACEComponent"],
+    "Initial Condition": ["InitialCondition"],
+    "Explicit Integration": ["ExplicitIntegrator", "DiffusionPhysics",
+                             "DRFMComponent"],
+    "Implicit Integration": ["CvodeComponent", "ThermoChemistry"],
+    "Boundary Condition": ["GrACEComponent"],
+    "Database": ["ThermoChemistry"],
+    "Adaptors": ["ImplicitIntegrator"],
+}
+
+#: paper Table 3 — shock-interface component design.
+TABLE3_SHOCK_INTERFACE = {
+    "Mesh": ["GrACEComponent"],
+    "Data Object": ["GrACEComponent"],
+    "Initial Condition": ["ConicalInterfaceIC"],
+    "Explicit Integration": ["ExplicitIntegratorRK2", "GodunovFlux",
+                             "States"],
+    "Implicit Integration": ["N/A"],
+    "Boundary Condition": ["BoundaryConditions"],
+    "Database": ["GasProperties"],
+    "Adaptors": ["InviscidFlux"],
+}
+
+_TABLES = {
+    "ignition0d": TABLE1_0D_IGNITION,
+    "reaction_diffusion": TABLE2_REACTION_DIFFUSION,
+    "shock_interface": TABLE3_SHOCK_INTERFACE,
+}
+
+
+def assembly_table(app: str) -> dict[str, list[str]]:
+    """The subsystem -> component map for an application (Tables 1-3)."""
+    try:
+        return dict(_TABLES[app])
+    except KeyError:
+        raise KeyError(
+            f"unknown app {app!r}; have {sorted(_TABLES)}") from None
+
+
+def format_assembly_table(app: str) -> str:
+    """Render a Table-1/2/3-style text table."""
+    table = assembly_table(app)
+    width = max(len(k) for k in table)
+    lines = [f"{'Software Subsystem':<{width}}  Component Instance(s)",
+             "-" * (width + 25)]
+    for subsystem, comps in table.items():
+        lines.append(f"{subsystem:<{width}}  {', '.join(comps)}")
+    return "\n".join(lines)
+
+
+def describe_assembly(framework: Framework) -> str:
+    """Wiring dump of a live framework (the Fig. 1/2/5 'arena')."""
+    return framework.describe()

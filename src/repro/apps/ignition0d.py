@@ -1,0 +1,154 @@
+"""The 0D ignition application (paper §4.1, Table 1, Fig. 1).
+
+Component assembly::
+
+    Initializer ──ic──▶ Ignition0DDriver ◀──solver── CvodeComponent
+                                                          │ rhs
+                                                          ▼
+    dPdt ──dpdt──▶ ProblemModeler ◀──chem── ThermoChemistry
+
+``CvodeComponent`` integrates the constant-volume Φ-equation assembled by
+``ProblemModeler`` (chemistry from ``ThermoChemistry``, pressure closure
+from ``DPDt``); the driver seeds Φ0 from ``Initializer`` and marches to
+``t_end`` recording the ignition history.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.framework import Framework
+from repro.cca.ports.go import GoPort
+from repro.components import (
+    CvodeComponent,
+    DPDt,
+    Initializer,
+    ProblemModeler,
+    StatisticsComponent,
+    ThermoChemistry,
+)
+
+
+class _Go(GoPort):
+    def __init__(self, owner: "Ignition0DDriver") -> None:
+        self.owner = owner
+
+    def go(self) -> dict[str, Any]:
+        return self.owner.run()
+
+
+class Ignition0DDriver(Component):
+    """Drives the 0D ignition assembly.
+
+    Uses ``ic`` (VectorICPort), ``solver`` (ODESolverPort), ``model``
+    (VectorRHSPort, the ProblemModeler), ``chem`` (ChemistryPort),
+    ``stats`` (StatisticsPort).  Parameters: ``t_end`` (1e-3 s),
+    ``n_output`` (20 history points).
+    """
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.register_uses_port("ic", "VectorICPort")
+        services.register_uses_port("solver", "ODESolverPort")
+        services.register_uses_port("model", "VectorRHSPort")
+        services.register_uses_port("chem", "ChemistryPort")
+        services.register_uses_port("stats", "StatisticsPort")
+        services.add_provides_port(_Go(self), "go")
+
+    def run(self) -> dict[str, Any]:
+        services = self.services
+        ic = services.get_port("ic")
+        solver = services.get_port("solver")
+        model = services.get_port("model")
+        chem = services.get_port("chem")
+        stats = services.get_port("stats")
+        mech = chem.mechanism()
+        t_end = float(services.get_parameter("t_end", 1e-3))
+        n_out = int(services.get_parameter("n_output", 20))
+
+        y = ic.initial_state()  # [T, Y..., P]
+        T0, P0 = float(y[0]), float(y[-1])
+        rho = model.configure(T0, P0, y[1:-1])
+        stats.record("T", 0.0, T0)
+        stats.record("P", 0.0, P0)
+        t = 0.0
+        nfe = 0
+        for k in range(1, n_out + 1):
+            t_next = t_end * k / n_out
+            y = solver.integrate(t, y, t_next)
+            nfe += solver.last_nfe()
+            t = t_next
+            stats.record("T", t, float(y[0]))
+            stats.record("P", t, float(y[-1]))
+        T_final, Y_final, P_final = float(y[0]), y[1:-1], float(y[-1])
+        i_h2o = mech.species_index("H2O")
+        return {
+            "T0": T0,
+            "P0": P0,
+            "rho": rho,
+            "T_final": T_final,
+            "P_final": P_final,
+            "Y_final": Y_final,
+            "Y_H2O_final": float(Y_final[i_h2o]),
+            "nfe": nfe,
+            "history_T": stats.series("T"),
+            "history_P": stats.series("P"),
+        }
+
+
+#: component classes of this assembly
+IGNITION0D_COMPONENTS = [
+    Initializer,
+    ThermoChemistry,
+    ProblemModeler,
+    DPDt,
+    CvodeComponent,
+    StatisticsComponent,
+    Ignition0DDriver,
+]
+
+
+def build_ignition0d(framework: Framework, mechanism: str = "h2-air",
+                     T0: float = 1000.0, P0: float = 101325.0,
+                     t_end: float = 1e-3, rtol: float = 1e-8,
+                     atol: float = 1e-12) -> None:
+    """Instantiate and wire the 0D ignition assembly (Fig. 1)."""
+    framework.registry.register_many(IGNITION0D_COMPONENTS)
+    for cls, name in [
+        (Initializer, "Initializer"),
+        (ThermoChemistry, "ThermoChemistry"),
+        (ProblemModeler, "problemModeler"),
+        (DPDt, "dPdt"),
+        (CvodeComponent, "CvodeComponent"),
+        (StatisticsComponent, "Statistics"),
+        (Ignition0DDriver, "Driver"),
+    ]:
+        framework.instantiate(cls.__name__, name)
+    framework.set_parameter("ThermoChemistry", "mechanism", mechanism)
+    framework.set_parameter("Initializer", "T0", T0)
+    framework.set_parameter("Initializer", "P0", P0)
+    framework.set_parameter("CvodeComponent", "rtol", rtol)
+    framework.set_parameter("CvodeComponent", "atol", atol)
+    framework.set_parameter("Driver", "t_end", t_end)
+
+    framework.connect("Initializer", "chem", "ThermoChemistry", "chemistry")
+    framework.connect("dPdt", "chem", "ThermoChemistry", "chemistry")
+    framework.connect("problemModeler", "chem", "ThermoChemistry",
+                      "chemistry")
+    framework.connect("problemModeler", "dpdt", "dPdt", "dpdt")
+    framework.connect("CvodeComponent", "rhs", "problemModeler", "model")
+    framework.connect("Driver", "ic", "Initializer", "ic")
+    framework.connect("Driver", "solver", "CvodeComponent", "solver")
+    framework.connect("Driver", "model", "problemModeler", "model")
+    framework.connect("Driver", "chem", "ThermoChemistry", "chemistry")
+    framework.connect("Driver", "stats", "Statistics", "stats")
+
+
+def run_ignition0d(**kwargs) -> dict[str, Any]:
+    """One-call serial run (builds a fresh framework)."""
+    framework = Framework()
+    build_ignition0d(framework, **kwargs)
+    return framework.go("Driver")

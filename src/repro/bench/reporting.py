@@ -1,0 +1,44 @@
+"""Shared result formatting for the bench harnesses."""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str | None = None,
+                 floatfmt: str = "{:.4g}") -> str:
+    """Render an aligned text table (the bench harnesses' output form)."""
+    str_rows = [
+        [floatfmt.format(c) if isinstance(c, float) else str(c)
+         for c in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_report(name: str, text: str, directory: str | None = None) -> str:
+    """Persist a bench report under ``bench_results/`` (repo root by
+    default) and return the path."""
+    if directory is None:
+        directory = os.environ.get(
+            "REPRO_BENCH_DIR",
+            os.path.join(os.getcwd(), "bench_results"))
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text.rstrip() + "\n")
+    return path

@@ -1,0 +1,201 @@
+"""Table 5 / Fig 8 / Fig 9 — parallel scaling of the reaction-diffusion
+code.
+
+"We ran the Reaction-Diffusion code on Sandia's CPlant cluster ... The
+code was run for 5 timesteps, each of 1e-7.  ...  Adaptivity was turned
+off since it renders scalability extremely sensitive to the performance of
+the load-balancer.  ...  Each mesh point has 9 variables on it."
+(paper §5.2)
+
+The SCMD substitution: P rank-threads run the full component assembly on a
+strip-decomposed mesh; run time is each rank's *virtual clock* — its own
+CPU time for compute plus CPlant-model alpha-beta time for every ghost
+exchange and reduction the assembly actually performs.
+
+* ``run_fig8`` / ``run_table5`` — constant per-processor workload
+  (n_local x n_local per rank; the global mesh grows with P).
+* ``run_fig9`` — constant global problem (200^2 and 350^2), efficiency
+  ``t1 / (P * tP)`` vs ideal.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.apps.reaction_diffusion import run_reaction_diffusion
+from repro.bench.reporting import format_table
+from repro.mpi import CPLANT, mpirun
+from repro.mpi.perfmodel import MachineModel
+from repro.util.options import fast_mode
+
+#: 5 steps of 1e-7 s, as in the paper.
+N_STEPS = 5
+DT = 1e-7
+
+
+def _run_case(nprocs: int, nx: int, ny: int,
+              machine: MachineModel = CPLANT) -> float:
+    """Run the RD assembly on ``nprocs`` ranks; return the slowest rank's
+    virtual run time (what a cluster user would measure)."""
+
+    def main(comm):
+        run_reaction_diffusion(
+            comm=comm,
+            nx=nx,
+            ny=ny,
+            extent=nx * 1e-4,           # the paper's ~0.1 mm spacing
+            max_levels=1,               # adaptivity off (paper §5.2)
+            n_steps=N_STEPS,
+            dt=DT,
+            chemistry_mode="batch",
+            chemistry_on=True,
+        )
+        comm.barrier()
+        return comm.clock
+
+    clocks = mpirun(nprocs, main, machine=machine)
+    return max(clocks)
+
+
+@dataclass
+class WeakScalingResult:
+    n_local: int
+    procs: list[int]
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
+
+
+#: memoized Fig 8 sweeps keyed by the fast flag (Table 5 reuses Fig 8's
+#: runs exactly as the paper computes its statistics from the same data)
+_FIG8_CACHE: dict[bool, dict] = {}
+
+
+def run_fig8(fast: bool | None = None) -> dict:
+    """Constant per-processor workload: T(P) for three per-rank sizes.
+
+    The paper's Fig 8 shape: each curve is ~flat in P; curves order by
+    per-rank problem size.
+    """
+    fast = fast_mode() if fast is None else fast
+    if fast in _FIG8_CACHE:
+        return _FIG8_CACHE[fast]
+    if fast:
+        size_procs = {20: [1, 2, 4], 40: [1, 2, 4]}
+    else:
+        # The paper's per-rank sizes.  The sweep caps at P = 16
+        # rank-threads: beyond that, all ranks time-sharing one physical
+        # core makes each rank's measured CPU time absorb its siblings'
+        # cache interference — an emulation artifact (real CPlant nodes
+        # have private caches), not a property of the communication
+        # model, whose log2(P) collective growth is separately verified
+        # by the tests in tests/mpi/test_virtual_time.py out to P = 48.
+        size_procs = {50: [1, 4, 16], 100: [1, 4, 16], 175: [1, 4, 16]}
+    results: list[WeakScalingResult] = []
+    for n_local, procs in size_procs.items():
+        r = WeakScalingResult(n_local, list(procs))
+        for p in procs:
+            # strip decomposition: global mesh (p * n_local) x n_local
+            r.times.append(_run_case(p, p * n_local, n_local))
+        results.append(r)
+    rows = []
+    for r in results:
+        for p, t in zip(r.procs, r.times):
+            rows.append([f"{r.n_local}x{r.n_local}", p, t])
+    table = format_table(
+        ["per-rank mesh", "P", "virtual time [s]"], rows,
+        title="Fig 8 analog: constant per-processor workload "
+              "(5 steps of 1e-7 s, 9 vars/point, CPlant model)")
+    flatness = {
+        r.n_local: max(r.times) / min(r.times) for r in results
+    }
+    summary = "\n".join(
+        f"size {n}^2: max/min over P = {v:.3f} (paper: ~flat)"
+        for n, v in flatness.items())
+    out = {"results": results, "report": table + "\n" + summary,
+           "flatness": flatness}
+    _FIG8_CACHE[fast] = out
+    return out
+
+
+def run_table5(fig8_results: list[WeakScalingResult] | None = None,
+               fast: bool | None = None) -> dict:
+    """Mean / median / stdev of the Fig 8 run times per problem size —
+    the paper's Table 5 (the "homogeneous machine" check)."""
+    if fig8_results is None:
+        fig8_results = run_fig8(fast)["results"]
+    rows = [
+        [f"{r.n_local} x {r.n_local}", r.mean, r.median, r.stdev]
+        for r in fig8_results
+    ]
+    table = format_table(
+        ["Problem Size", "mean T", "median T", "stdev"], rows,
+        title="Table 5 analog: weak-scaling run-time statistics")
+    # run-time ratios should track per-rank cell counts
+    ratios = []
+    for a, b in zip(fig8_results, fig8_results[1:]):
+        expect = (b.n_local / a.n_local) ** 2
+        ratios.append((b.n_local, a.n_local, b.mean / a.mean, expect))
+    summary = "\n".join(
+        f"T({b}^2)/T({a}^2) = {got:.2f} (cell-count ratio {exp:.2f})"
+        for b, a, got, exp in ratios)
+    return {"results": fig8_results, "report": table + "\n" + summary,
+            "ratios": ratios}
+
+
+def run_fig9(fast: bool | None = None) -> dict:
+    """Constant global problem size: measured vs ideal run time.
+
+    The paper's Fig 9: the 350^2 problem hugs the ideal curve; the 200^2
+    problem departs at high P (73% efficiency at P=48, where the per-rank
+    patch is just 29^2).
+    """
+    fast = fast_mode() if fast is None else fast
+    if fast:
+        globals_ = [40, 96]
+        procs = [1, 2, 4, 8]
+    else:
+        globals_ = [200, 350]
+        procs = [1, 4, 16, 48]
+    curves = {}
+    for n_global in globals_:
+        times = []
+        for p in procs:
+            usable = min(p, n_global)  # cannot cut more strips than rows
+            times.append(_run_case(usable, n_global, n_global))
+        t1 = times[0]
+        eff = [t1 / (p * tp) for p, tp in zip(procs, times)]
+        curves[n_global] = {
+            "procs": list(procs),
+            "times": times,
+            "ideal": [t1 / p for p in procs],
+            "efficiency": eff,
+        }
+    rows = []
+    for n_global, c in curves.items():
+        for p, t, ideal, e in zip(c["procs"], c["times"], c["ideal"],
+                                  c["efficiency"]):
+            rows.append([f"{n_global}^2", p, t, ideal, f"{100 * e:.1f}%"])
+    table = format_table(
+        ["global mesh", "P", "T [s]", "ideal T [s]", "efficiency"], rows,
+        title="Fig 9 analog: strong scaling vs ideal (CPlant model)")
+    small, large = globals_[0], globals_[-1]
+    worst_small = min(curves[small]["efficiency"])
+    worst_large = min(curves[large]["efficiency"])
+    summary = (
+        f"\nworst efficiency: {small}^2 -> {100 * worst_small:.1f}%  "
+        f"(paper: 73% at P=48), {large}^2 -> {100 * worst_large:.1f}%  "
+        f"(paper: near-ideal)")
+    return {"curves": curves, "report": table + summary,
+            "worst_small": worst_small, "worst_large": worst_large}

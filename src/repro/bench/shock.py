@@ -1,0 +1,147 @@
+"""Fig 6 / Fig 7 — shock-interface density field and circulation
+convergence.
+
+Fig 6: "density field at t/τ = 2.096 ... Reflected shocks are seen.  Note
+that regions of steep pressure and density gradients ... are resolved with
+Level 3 meshes."
+
+Fig 7: "the circulation on the interface as we increase the levels of
+refinement.  We achieve convergence of the interfacial circulation
+deposition since there is no appreciable difference between the 2-level
+and 3-level runs.  Further, the maximum deposition ... is closest to the
+analytical estimate of -0.592 for the 3-level run."  Our domain units and
+shock-tube dimensions differ from the paper's (unstated) ones, so the
+converged Γ value differs in absolute terms; the *convergence pattern*
+(monotone deepening with refinement, 2- vs 3-level agreement) is the
+reproduced observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.shock_interface import run_shock_interface
+from repro.bench.reporting import format_table
+from repro.cca.framework import Framework
+from repro.apps.shock_interface import build_shock_interface
+from repro.util.options import fast_mode
+
+
+def run_fig7(fast: bool | None = None) -> dict:
+    """Circulation deposition Γ(t/τ) for 1-, 2- and 3-level hierarchies."""
+    fast = fast_mode() if fast is None else fast
+    if fast:
+        nx, ny = 32, 16
+        t_end = 0.8
+        levels = [1, 2]
+    else:
+        nx, ny = 64, 32
+        t_end = 1.2
+        levels = [1, 2, 3]
+    curves = {}
+    for nlev in levels:
+        res = run_shock_interface(
+            nx=nx, ny=ny, max_levels=nlev,
+            t_end_over_tau=t_end,
+            regrid_interval=3 if nlev > 1 else 0,
+            initial_regrids=nlev - 1,
+        )
+        curves[nlev] = {
+            "series": res["circulation"],
+            "min": res["circulation_min"],
+            "cells": res["total_cells"],
+        }
+    rows = [
+        [f"{nlev} level(s)", c["cells"], c["min"]]
+        for nlev, c in curves.items()
+    ]
+    table = format_table(
+        ["hierarchy", "cells (final)", "max |Gamma| deposition (signed)"],
+        rows,
+        title="Fig 7 analog: interfacial circulation vs refinement depth")
+    deps = [curves[nlev]["min"] for nlev in levels]
+    # monotone deepening up to convergence noise: once consecutive
+    # hierarchies agree to ~2%, the sequence has converged and tiny
+    # reversals are discretization noise, not a trend
+    monotone = all(b <= a + 0.02 * abs(a)
+                   for a, b in zip(deps, deps[1:]))
+    if len(deps) >= 2 and abs(deps[-2]) > 0:
+        converged = abs(deps[-1] - deps[-2]) / abs(deps[-2])
+    else:
+        converged = float("nan")
+    summary = (
+        f"\ndeposition deepens with refinement: {monotone} "
+        f"(paper: yes)\nrel. gap between the two finest hierarchies: "
+        f"{100 * converged:.1f}% (paper: 'no appreciable difference')")
+    return {"curves": curves, "report": table + summary,
+            "monotone": monotone, "finest_gap": converged}
+
+
+def run_fig6(fast: bool | None = None) -> dict:
+    """Density field at t/τ = 2.096 (summary statistics + wave census)."""
+    fast = fast_mode() if fast is None else fast
+    if fast:
+        nx, ny, max_levels, t_end = 48, 24, 1, 1.0
+    else:
+        nx, ny, max_levels, t_end = 48, 24, 3, 2.096
+    framework = Framework()
+    build_shock_interface(
+        framework, nx=nx, ny=ny, max_levels=max_levels,
+        t_end_over_tau=t_end,
+        regrid_interval=3 if max_levels > 1 else 0,
+        initial_regrids=max_levels - 1)
+    result = framework.go("Driver")
+    data = framework.services_of("Driver").get_port("data")
+    mesh = framework.services_of("Driver").get_port("mesh")
+    gas = framework.services_of("Driver").get_port("gas")
+    gamma = float(gas.get("gamma", 1.4))
+    dobj = data.data("U")
+    h = mesh.hierarchy()
+
+    rho_min, rho_max, p_max = np.inf, -np.inf, -np.inf
+    zeta_band_cells = 0
+    for patch in dobj.owned_patches():
+        U = dobj.interior(patch)
+        rho = U[0]
+        u = U[1] / rho
+        v = U[2] / rho
+        p = (gamma - 1.0) * (U[3] - 0.5 * rho * (u * u + v * v))
+        zeta = U[4] / rho
+        rho_min = min(rho_min, float(rho.min()))
+        rho_max = max(rho_max, float(rho.max()))
+        p_max = max(p_max, float(p.max()))
+        zeta_band_cells += int(((zeta > 0.001) & (zeta < 0.999)).sum())
+
+    # reference post-shock pressure for a Mach-1.5 shock (p1 = 1)
+    m2 = 1.5**2
+    p_post = (2 * gamma * m2 - (gamma - 1)) / (gamma + 1)
+    census = [
+        [lev.number, len(lev.patches), lev.ncells]
+        for lev in h.levels
+    ]
+    rows = [
+        ["rho_min", rho_min],
+        ["rho_max", rho_max],
+        ["p_max", p_max],
+        ["post-shock p (RH)", p_post],
+        ["interface band cells", zeta_band_cells],
+        ["circulation", result["circulation_final"]],
+    ]
+    table = format_table(["quantity", "value"], rows,
+                         title=f"Fig 6 analog: field at t/tau = {t_end}")
+    census_table = format_table(
+        ["level", "patches", "cells"], census,
+        title="AMR level census (steep gradients on the finest level)")
+    report = table + "\n\n" + census_table
+    reflected = p_max > 1.15 * p_post
+    report += (f"\n\nreflected shocks present (p_max > post-shock p): "
+               f"{reflected} (paper: 'Reflected shocks are seen')")
+    return {
+        "result": result,
+        "rho_range": (rho_min, rho_max),
+        "p_max": p_max,
+        "p_post_shock": p_post,
+        "reflected_shocks": reflected,
+        "census": census,
+        "report": report,
+    }

@@ -1,0 +1,45 @@
+"""BuilderService: programmatic assembly with a fluent feel.
+
+The GUI in the paper's Fig. 1 drags components into an "arena" and draws
+lines between ports; :class:`BuilderService` is the programmatic
+equivalent (CCAFFEINE exposes the same thing as the BuilderService port).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from repro.cca.component import Component
+from repro.cca.framework import Framework
+
+
+class BuilderService:
+    """Thin convenience layer over a :class:`Framework`."""
+
+    def __init__(self, framework: Framework) -> None:
+        self.framework = framework
+
+    def create(self, cls: Type[Component] | str,
+               instance_name: str) -> "BuilderService":
+        """Instantiate ``cls`` (class or registered name)."""
+        if isinstance(cls, type):
+            if cls.__name__ not in self.framework.registry:
+                self.framework.registry.register(cls)
+            class_name = cls.__name__
+        else:
+            class_name = cls
+        self.framework.instantiate(class_name, instance_name)
+        return self
+
+    def connect(self, user: str, uses_port: str, provider: str,
+                provides_port: str) -> "BuilderService":
+        self.framework.connect(user, uses_port, provider, provides_port)
+        return self
+
+    def parameter(self, instance: str, key: str, value: Any
+                  ) -> "BuilderService":
+        self.framework.set_parameter(instance, key, value)
+        return self
+
+    def go(self, instance: str, port: str = "go") -> Any:
+        return self.framework.go(instance, port)

@@ -1,0 +1,31 @@
+"""The Component base class.
+
+"All CCAFFEINE components are derived from a data-less abstract class with
+one deferred method called setServices(Services *q)."  (paper §2)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cca.services import Services
+
+
+class Component(ABC):
+    """Abstract base every component derives from.
+
+    Subclasses implement :meth:`set_services`, registering their provides
+    ports and declaring their uses ports against the passed
+    :class:`~repro.cca.services.Services` handle.  Construction arguments
+    are discouraged — configuration flows through parameter ports, keeping
+    components instantiable from assembly scripts.
+    """
+
+    @abstractmethod
+    def set_services(self, services: "Services") -> None:
+        """Register ports; called by the framework at instantiation."""
+
+    def release_services(self, services: "Services") -> None:
+        """Hook invoked when the component is destroyed (optional)."""

@@ -1,0 +1,193 @@
+"""The framework: component registry, lifecycle and port wiring.
+
+One :class:`Framework` instance exists per SCMD rank ("identical
+frameworks, containing the same components, are instantiated on all P
+processors").  It is deliberately minimalist — instantiate, connect, go —
+exactly the surface CCAFFEINE exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Type
+
+from repro.cca.component import Component
+from repro.cca.port import Port
+from repro.cca.services import Services
+from repro.errors import CCAError, PortTypeError
+from repro.util.logging import get_logger
+
+_log = get_logger("cca.framework")
+
+
+class ComponentRegistry:
+    """Maps class names to component classes ("the repository")."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, Type[Component]] = {}
+
+    def register(self, cls: Type[Component],
+                 name: str | None = None) -> None:
+        if not (isinstance(cls, type) and issubclass(cls, Component)):
+            raise CCAError(f"{cls!r} is not a Component subclass")
+        key = name or cls.__name__
+        if key in self._classes and self._classes[key] is not cls:
+            raise CCAError(f"class name {key!r} already registered")
+        self._classes[key] = cls
+
+    def register_many(self, classes: Iterable[Type[Component]]) -> None:
+        for cls in classes:
+            self.register(cls)
+
+    def get(self, name: str) -> Type[Component]:
+        try:
+            return self._classes[name]
+        except KeyError:
+            known = ", ".join(sorted(self._classes)) or "<empty>"
+            raise CCAError(
+                f"unknown component class {name!r} (repository has: "
+                f"{known})") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+
+class Framework:
+    """A CCA framework instance for one rank.
+
+    Parameters
+    ----------
+    registry:
+        Component class repository used by ``instantiate``.
+    comm:
+        The rank's world communicator, lent to components on request;
+        ``None`` for serial runs.
+    """
+
+    def __init__(self, registry: ComponentRegistry | None = None,
+                 comm=None) -> None:
+        self.registry = registry or ComponentRegistry()
+        self.comm = comm
+        self._components: dict[str, Component] = {}
+        self._services: dict[str, Services] = {}
+        # (user, uses_port) -> (provider, provides_port)
+        self._connections: dict[tuple[str, str], tuple[str, str]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+    def instantiate(self, class_name: str, instance_name: str) -> Component:
+        """Create a component and run its ``setServices``."""
+        if instance_name in self._components:
+            raise CCAError(f"instance name {instance_name!r} already used")
+        cls = self.registry.get(class_name)
+        component = cls()
+        services = Services(self, instance_name)
+        component.set_services(services)
+        self._components[instance_name] = component
+        self._services[instance_name] = services
+        _log.debug("instantiated %s as %s", class_name, instance_name)
+        return component
+
+    def destroy(self, instance_name: str) -> None:
+        """Remove a component, dropping every connection touching it."""
+        comp = self.get_component(instance_name)
+        for (user, uport), (prov, _pport) in list(self._connections.items()):
+            if user == instance_name or prov == instance_name:
+                self.disconnect(user, uport)
+        comp.release_services(self._services[instance_name])
+        del self._components[instance_name]
+        del self._services[instance_name]
+
+    def get_component(self, instance_name: str) -> Component:
+        try:
+            return self._components[instance_name]
+        except KeyError:
+            raise CCAError(
+                f"no component instance {instance_name!r} (have: "
+                f"{sorted(self._components)})") from None
+
+    def services_of(self, instance_name: str) -> Services:
+        self.get_component(instance_name)
+        return self._services[instance_name]
+
+    def instance_names(self) -> list[str]:
+        return sorted(self._components)
+
+    # -- wiring ------------------------------------------------------------------
+    def connect(self, user: str, uses_port: str,
+                provider: str, provides_port: str) -> None:
+        """Wire ``user.uses_port`` to ``provider.provides_port``.
+
+        Connecting is "just the movement of (pointers to) interfaces from
+        the providing to the using component" — the provider's port object
+        is handed to the user's services.
+        """
+        u_srv = self.services_of(user)
+        p_srv = self.services_of(provider)
+        if uses_port not in u_srv.uses:
+            raise CCAError(
+                f"{user!r} has no uses port {uses_port!r} "
+                f"(declares: {sorted(u_srv.uses)})")
+        if provides_port not in p_srv.provides:
+            raise CCAError(
+                f"{provider!r} has no provides port {provides_port!r} "
+                f"(exports: {sorted(p_srv.provides)})")
+        port, ptype = p_srv.provides[provides_port]
+        expected = u_srv.uses[uses_port]
+        if ptype != expected:
+            raise PortTypeError(
+                f"type mismatch connecting {user}.{uses_port} "
+                f"[{expected}] to {provider}.{provides_port} [{ptype}]")
+        if (user, uses_port) in self._connections:
+            raise CCAError(
+                f"{user}.{uses_port} is already connected")
+        u_srv._attach(uses_port, port)
+        self._connections[(user, uses_port)] = (provider, provides_port)
+
+    def disconnect(self, user: str, uses_port: str) -> None:
+        if (user, uses_port) not in self._connections:
+            raise CCAError(f"{user}.{uses_port} is not connected")
+        self.services_of(user)._detach(uses_port)
+        del self._connections[(user, uses_port)]
+
+    def connections(self) -> dict[tuple[str, str], tuple[str, str]]:
+        """Snapshot of the wiring (used by assembly dumps / Figs 1, 2, 5)."""
+        return dict(self._connections)
+
+    # -- parameters & execution ---------------------------------------------------
+    def set_parameter(self, instance_name: str, key: str,
+                      value: Any) -> None:
+        """The rc ``parameter`` directive."""
+        self.services_of(instance_name).parameters.set(key, value)
+
+    def go(self, instance_name: str, port_name: str = "go") -> Any:
+        """Invoke a component's GoPort — the application entry point."""
+        srv = self.services_of(instance_name)
+        if port_name not in srv.provides:
+            raise CCAError(
+                f"{instance_name!r} provides no {port_name!r} port")
+        port, ptype = srv.provides[port_name]
+        go = getattr(port, "go", None)
+        if go is None:
+            raise PortTypeError(
+                f"{instance_name}.{port_name} [{ptype}] has no go() method")
+        return go()
+
+    # -- introspection ------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable assembly dump (the textual analog of the GUI
+        arena in the paper's Fig. 1)."""
+        lines = ["components:"]
+        for name in self.instance_names():
+            srv = self._services[name]
+            prov = ", ".join(f"{p}[{t}]" for p, (_o, t)
+                             in sorted(srv.provides.items()))
+            uses = ", ".join(f"{p}[{t}]" for p, t in sorted(srv.uses.items()))
+            lines.append(f"  {name}")
+            lines.append(f"    provides: {prov or '-'}")
+            lines.append(f"    uses:     {uses or '-'}")
+        lines.append("connections:")
+        for (user, uport), (prov, pport) in sorted(self._connections.items()):
+            lines.append(f"  {user}.{uport} -> {prov}.{pport}")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Assembly graphs: the programmatic analog of the GUI "arena".
+
+The paper's Figs. 1, 2 and 5 are screenshots of component boxes with
+provides-ports on the left, uses-ports on the right, and lines between
+them.  This module renders a live framework as a :mod:`networkx` digraph
+(components as nodes, connections as edges) and as Graphviz DOT text, so
+the same pictures can be regenerated from any assembly.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cca.framework import Framework
+
+
+def assembly_graph(framework: Framework) -> "nx.MultiDiGraph":
+    """Directed multigraph: ``user -> provider`` per port connection.
+
+    Node attributes: ``provides`` / ``uses`` (name -> type maps).
+    Edge attributes: ``uses_port`` / ``provides_port``.
+    """
+    g = nx.MultiDiGraph()
+    for name in framework.instance_names():
+        services = framework.services_of(name)
+        g.add_node(
+            name,
+            provides={p: t for p, (_o, t) in services.provides.items()},
+            uses=dict(services.uses),
+        )
+    for (user, uses_port), (provider, provides_port) in \
+            framework.connections().items():
+        g.add_edge(user, provider, uses_port=uses_port,
+                   provides_port=provides_port)
+    return g
+
+
+def to_dot(framework: Framework, title: str = "assembly") -> str:
+    """Graphviz DOT text of the assembly (Fig 1/2/5 style)."""
+    g = assembly_graph(framework)
+    lines = [f'digraph "{title}" {{', "  rankdir=LR;",
+             "  node [shape=box, style=rounded];"]
+    for node in sorted(g.nodes):
+        lines.append(f'  "{node}";')
+    for user, provider, data in g.edges(data=True):
+        label = f"{data['uses_port']}→{data['provides_port']}"
+        lines.append(f'  "{user}" -> "{provider}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def wiring_summary(framework: Framework) -> dict[str, int]:
+    """Quick census used by tests/benches: component, connection and
+    dangling-uses-port counts."""
+    g = assembly_graph(framework)
+    dangling = 0
+    for node, data in g.nodes(data=True):
+        connected = {d["uses_port"] for _u, _p, d in
+                     g.out_edges(node, data=True)}
+        dangling += len(set(data["uses"]) - connected)
+    return {
+        "components": g.number_of_nodes(),
+        "connections": g.number_of_edges(),
+        "dangling_uses": dangling,
+    }

@@ -1,0 +1,27 @@
+"""The Port base class.
+
+"Components also implement other data-less abstract classes, called Ports,
+to allow access to their standard functionalities."  (paper §2)
+
+A port *type* is identified by a string (conventionally the class name);
+:meth:`Port.port_type` lets connection-time type checking work on any
+subclass without extra registration.
+"""
+
+from __future__ import annotations
+
+
+class Port:
+    """Abstract base for all provides/uses interfaces."""
+
+    @classmethod
+    def port_type(cls) -> str:
+        """The type string used for connection compatibility checks.
+
+        The nearest ancestor immediately below :class:`Port` defines the
+        type, so refinements of a standard port remain pluggable where the
+        standard port is expected.
+        """
+        lineage = [c for c in cls.__mro__
+                   if issubclass(c, Port) and c is not Port]
+        return lineage[-1].__name__ if lineage else "Port"

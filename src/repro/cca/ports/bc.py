@@ -1,0 +1,27 @@
+"""BoundaryConditionPort: physical ghost fills at patch granularity.
+
+"BCs are applied at each of the stages of a multi-stage integration
+scheme; hence application of the boundary conditions has to be done on a
+finer basis than one Data Object at a time.  Thus the granularity will be
+a patch."  (paper §4, subsystem 7)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cca.port import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.samr.patch import Patch
+
+
+class BoundaryConditionPort(Port):
+    """Fill a patch's physical-boundary ghost cells."""
+
+    def apply(self, patch: "Patch", ghosted: np.ndarray, axis: int,
+              side: int) -> None:
+        """Fill the ghost cells of one domain face of one patch."""
+        raise NotImplementedError

@@ -1,0 +1,45 @@
+"""DataObjectPort: field declaration and patch-data access (family (b)).
+
+"An abstract interface for the Data Object allowing manipulation of
+patches and the data defined on them."  (paper §4)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cca.port import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.samr.dataobject import DataObject
+    from repro.samr.patch import Patch
+
+
+class DataObjectPort(Port):
+    """Create and manipulate Data Objects on the mesh."""
+
+    def declare(self, name: str, nvar: int,
+                var_names: list[str] | None = None) -> "DataObject":
+        """Declare a field collection over the hierarchy."""
+        raise NotImplementedError
+
+    def data(self, name: str) -> "DataObject":
+        raise NotImplementedError
+
+    def names(self) -> list[str]:
+        """All declared Data Object names."""
+        raise NotImplementedError
+
+    def array(self, name: str, patch: "Patch") -> np.ndarray:
+        """Ghosted per-patch array (nvar, nx+2g, ny+2g)."""
+        raise NotImplementedError
+
+    def exchange_ghosts(self, name: str, level: int) -> None:
+        """Fill ghost regions (copy + message passing + interpolation)."""
+        raise NotImplementedError
+
+    def restrict(self, name: str, fine_level: int) -> None:
+        """Average a fine level onto the coarser one."""
+        raise NotImplementedError

@@ -1,0 +1,20 @@
+"""StatisticsPort: run-time observables (the ``StatisticsComponent``)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cca.port import Port
+
+
+class StatisticsPort(Port):
+    """Record and query named time series of scalar observables."""
+
+    def record(self, key: str, t: float, value: float) -> None:
+        raise NotImplementedError
+
+    def series(self, key: str) -> list[tuple[float, float]]:
+        raise NotImplementedError
+
+    def summary(self) -> dict[str, Any]:
+        raise NotImplementedError

@@ -1,0 +1,33 @@
+"""Flux and interface-state ports for the hydrodynamics assembly.
+
+"InviscidFlux component uses a States component to set up the Riemann
+problem at each cell interface which is then passed to the GodunovFlux
+component for the Riemann solution."  (paper §4.3)  ``FluxPort`` is the
+interface both ``GodunovFlux`` and ``EFMFlux`` provide — swapping them
+requires no recompilation, the paper's headline reuse demonstration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.port import Port
+
+#: Primitive tuple layout: (rho, u_normal, u_tangential, p, zeta).
+PrimTuple = tuple
+
+
+class StatesPort(Port):
+    """MUSCL interface-state construction (the ``States`` component)."""
+
+    def interface_states(self, prim: np.ndarray, axis: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class FluxPort(Port):
+    """Numerical flux from left/right interface states."""
+
+    def flux(self, prim_l: PrimTuple, prim_r: PrimTuple,
+             gamma: float) -> np.ndarray:
+        raise NotImplementedError

@@ -1,0 +1,14 @@
+"""GoPort: the application entry point (framework-standard)."""
+
+from __future__ import annotations
+
+from repro.cca.port import Port
+
+
+class GoPort(Port):
+    """A runnable entry point; drivers provide it, ``Framework.go`` calls
+    it."""
+
+    def go(self) -> int:
+        """Run; return 0 on success (CCAFFEINE convention)."""
+        raise NotImplementedError

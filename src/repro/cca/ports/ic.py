@@ -1,0 +1,27 @@
+"""InitialConditionPort: impose initial data on Data Objects."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cca.port import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.samr.dataobject import DataObject
+
+
+class InitialConditionPort(Port):
+    """The Initial Condition subsystem's interface (paper §4, subsystem 3)."""
+
+    def initialize(self, dobj: "DataObject") -> None:
+        """Fill every owned patch of ``dobj`` with initial data."""
+        raise NotImplementedError
+
+
+class VectorICPort(Port):
+    """Initial state for pointwise (0D) problems — what the ``Initializer``
+    component of the ignition assembly provides."""
+
+    def initial_state(self):
+        """The initial Φ vector (e.g. [T, Y_1..Y_N, P])."""
+        raise NotImplementedError

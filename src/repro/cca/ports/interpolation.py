@@ -1,0 +1,25 @@
+"""ProlongRestrictPort: spatial interpolation operators.
+
+"Interpolation components: these implement various spatial and temporal
+interpolation operators."  (paper §4, subsystem 6); the shock-interface
+assembly's ``ProlongRestrict`` component "performs the cell-centered
+interpolations".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.port import Port
+
+
+class ProlongRestrictPort(Port):
+    """Cell-centered inter-level transfer operators."""
+
+    def prolong(self, coarse: np.ndarray, ratio: int) -> np.ndarray:
+        """Coarse block (with one ghost ring) -> fine block."""
+        raise NotImplementedError
+
+    def restrict(self, fine: np.ndarray, ratio: int) -> np.ndarray:
+        """Fine block -> coarse block (conservative average)."""
+        raise NotImplementedError

@@ -1,0 +1,53 @@
+"""MeshPort: geometric manipulation of the SAMR domain (port family (a)).
+
+"Port(s) (provided by the mesh component) that allow (i) geometrical
+manipulation of the domain, (ii) the declaration of fields on the mesh
+(via Data Objects), and (iii) tasks like setting/querying of
+domain-decomposition details.  Our design for type (a) Ports is called
+MeshPort."  (paper §4)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cca.port import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.samr.hierarchy import Hierarchy
+    from repro.samr.patch import Patch
+
+
+class MeshPort(Port):
+    """Geometry + domain-decomposition interface of the Mesh subsystem."""
+
+    # (i) geometrical manipulation
+    def hierarchy(self) -> "Hierarchy":
+        """The live patch hierarchy."""
+        raise NotImplementedError
+
+    def build_base_level(self) -> None:
+        """Overlay the uniform coarse mesh and decompose it across ranks."""
+        raise NotImplementedError
+
+    def regrid(self) -> None:
+        """Recreate the patch hierarchy from current error flags."""
+        raise NotImplementedError
+
+    # (iii) domain decomposition queries
+    def owned_patches(self, level: int | None = None) -> list["Patch"]:
+        raise NotImplementedError
+
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    def nranks(self) -> int:
+        raise NotImplementedError
+
+
+class RegridPort(Port):
+    """Trigger hierarchy recreation (the ``ErrorEstAndRegrid`` interface)."""
+
+    def regrid(self) -> None:
+        """Flag -> cluster -> rebuild levels -> transfer data."""
+        raise NotImplementedError

@@ -1,0 +1,26 @@
+"""ParameterPort: key-value access (the Database subsystem interface).
+
+"Database components ... store certain parameters (e.g. mesh size, gas
+properties, etc), that are retrieved using a key-value pair mechanism.
+They are essentially maps between the (character string) property name and
+a number."  (paper §4, subsystem 8; port family (f))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cca.port import Port
+
+
+class ParameterPort(Port):
+    """Get/set named properties."""
+
+    def get(self, key: str, default: Any = None) -> Any:
+        raise NotImplementedError
+
+    def set(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError

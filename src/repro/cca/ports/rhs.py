@@ -1,0 +1,46 @@
+"""Right-hand-side ports.
+
+Family (d): "Ports that accept an array from a patch" — RHS evaluation is
+patch-at-a-time.  Family (e): vector RHS for implicit integration.  Plus
+the eigenvalue-estimation port the explicit subsystem uses for dynamic
+time-step sizing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cca.port import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.samr.patch import Patch
+
+
+class PatchRHSPort(Port):
+    """Evaluate and assemble the RHS "one patch at a time" (family (d))."""
+
+    def evaluate(self, t: float, patch: "Patch",
+                 ghosted: np.ndarray) -> np.ndarray:
+        """dU/dt over the patch interior, given the ghosted field array."""
+        raise NotImplementedError
+
+
+class VectorRHSPort(Port):
+    """Pointwise source terms for the implicit subsystem (family (e)) —
+    what ``ThermoChemistry`` provides to ``CvodeComponent``."""
+
+    def rhs(self, t: float, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def n_state(self) -> int:
+        raise NotImplementedError
+
+
+class SpectralBoundPort(Port):
+    """Largest-eigenvalue estimate for the explicit integrator
+    (``MaxDiffCoeffEvaluator`` provides this)."""
+
+    def spectral_bound(self, t: float) -> float:
+        raise NotImplementedError

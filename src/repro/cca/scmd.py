@@ -1,0 +1,60 @@
+"""SCMD execution: P identical frameworks, one per rank.
+
+"A CCAFFEINE job is generally started using mpirun ... P instances of the
+framework, run with the same script, cause P identically configured
+frameworks to load and exist on as many processors."  (paper §2)
+
+:func:`run_scmd` is that multiplexer: the same script (or setup callable)
+is replayed on every rank-thread; each framework borrows its rank's world
+communicator, and component cohorts coordinate through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence, Type
+
+from repro.cca.component import Component
+from repro.cca.framework import ComponentRegistry, Framework
+from repro.cca.script import run_script
+from repro.mpi.comm import Comm
+from repro.mpi.launcher import mpirun
+from repro.mpi.perfmodel import MachineModel, LOCALHOST
+
+
+def run_scmd(
+    nprocs: int,
+    script: str | Callable[[Framework], Any],
+    classes: Iterable[Type[Component]] = (),
+    machine: MachineModel = LOCALHOST,
+    return_clocks: bool = False,
+) -> list[Any]:
+    """Run an assembly on ``nprocs`` rank-threads.
+
+    Parameters
+    ----------
+    script:
+        Either an rc-script string (each rank executes it with
+        :func:`repro.cca.script.run_script`) or a callable
+        ``f(framework) -> result`` for programmatic assembly.
+    classes:
+        Component classes loaded into every rank's repository.
+    machine:
+        Virtual-time machine model for the communicator.
+    return_clocks:
+        When True each per-rank result is ``(value, virtual_seconds)``.
+    """
+    class_list = list(classes)
+
+    def main(comm: Comm) -> Any:
+        registry = ComponentRegistry()
+        registry.register_many(class_list)
+        framework = Framework(registry, comm=comm)
+        if callable(script):
+            return script(framework)
+        results = run_script(framework, script)
+        if not results:
+            return None
+        return results[0] if len(results) == 1 else results
+
+    return mpirun(nprocs, main, machine=machine,
+                  return_clocks=return_clocks)

@@ -1,0 +1,114 @@
+"""The rc-script interface: CCAFFEINE-style assembly files.
+
+"A CCAFFEINE code can be assembled and run through a script or a Graphical
+User Interface."  (paper §2)  Supported directives (one per line, ``#``
+comments):
+
+    repository get-global <ClassName>   # assert the class is available
+    instantiate <ClassName> <instance>
+    create <ClassName> <instance>       # alias
+    connect <user> <usesPort> <provider> <providesPort>
+    parameter <instance> <key> <value...>
+    go <instance> [<goPort>]
+
+Values given to ``parameter`` are parsed as int, then float, then left as
+strings (multi-token values stay a single space-joined string).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cca.framework import Framework
+from repro.errors import ScriptError
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed script line."""
+
+    verb: str
+    args: tuple[str, ...]
+    line_no: int
+
+
+def _parse_value(tokens: list[str]) -> Any:
+    text = " ".join(tokens)
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_script(text: str) -> list[Directive]:
+    """Parse an assembly script into directives (syntax check only)."""
+    out: list[Directive] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line or line.startswith("!"):
+            continue
+        tokens = line.split()
+        verb = tokens[0].lower()
+        args = tokens[1:]
+        if verb == "repository":
+            if len(args) != 2 or args[0] != "get-global":
+                raise ScriptError(
+                    f"line {line_no}: expected 'repository get-global "
+                    f"<Class>', got {raw!r}")
+        elif verb in ("instantiate", "create"):
+            if len(args) != 2:
+                raise ScriptError(
+                    f"line {line_no}: expected '{verb} <Class> "
+                    f"<instance>', got {raw!r}")
+            verb = "instantiate"
+        elif verb == "connect":
+            if len(args) != 4:
+                raise ScriptError(
+                    f"line {line_no}: expected 'connect <user> <usesPort> "
+                    f"<provider> <providesPort>', got {raw!r}")
+        elif verb == "parameter":
+            if len(args) < 3:
+                raise ScriptError(
+                    f"line {line_no}: expected 'parameter <instance> "
+                    f"<key> <value>', got {raw!r}")
+        elif verb == "go":
+            if len(args) not in (1, 2):
+                raise ScriptError(
+                    f"line {line_no}: expected 'go <instance> [<port>]', "
+                    f"got {raw!r}")
+        else:
+            raise ScriptError(f"line {line_no}: unknown directive {verb!r}")
+        out.append(Directive(verb, tuple(args), line_no))
+    return out
+
+
+def run_script(framework: Framework, text: str) -> list[Any]:
+    """Execute an assembly script against ``framework``.
+
+    Returns the values produced by ``go`` directives, in order.
+    """
+    results: list[Any] = []
+    for d in parse_script(text):
+        try:
+            if d.verb == "repository":
+                framework.registry.get(d.args[1])  # existence check
+            elif d.verb == "instantiate":
+                framework.instantiate(d.args[0], d.args[1])
+            elif d.verb == "connect":
+                framework.connect(*d.args)
+            elif d.verb == "parameter":
+                framework.set_parameter(
+                    d.args[0], d.args[1], _parse_value(list(d.args[2:])))
+            elif d.verb == "go":
+                port = d.args[1] if len(d.args) == 2 else "go"
+                results.append(framework.go(d.args[0], port))
+        except ScriptError:
+            raise
+        except Exception as exc:
+            raise ScriptError(
+                f"line {d.line_no}: {d.verb} {' '.join(d.args)} failed: "
+                f"{exc}") from exc
+    return results

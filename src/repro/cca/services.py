@@ -1,0 +1,101 @@
+"""The Services handle: a component's window into the framework.
+
+Through it a component registers ProvidesPorts, declares UsesPorts,
+fetches connected peers' ports (``get_port``), reads its script-set
+parameters, and borrows the framework's scoped MPI communicator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.cca.port import Port
+from repro.errors import CCAError, PortNotConnectedError, PortTypeError
+from repro.util.options import Options
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cca.framework import Framework
+
+
+class Services:
+    """Per-component-instance framework services."""
+
+    def __init__(self, framework: "Framework", instance_name: str) -> None:
+        self._framework = framework
+        self.instance_name = instance_name
+        self.provides: dict[str, tuple[Port, str]] = {}
+        self.uses: dict[str, str] = {}
+        self._connections: dict[str, Port] = {}
+        self.parameters = Options()
+
+    # -- provides ------------------------------------------------------------
+    def add_provides_port(self, port: Port, port_name: str,
+                          port_type: str | None = None) -> None:
+        """Export ``port`` under ``port_name``."""
+        if not isinstance(port, Port):
+            raise PortTypeError(
+                f"{self.instance_name}: provides port {port_name!r} must "
+                f"be a Port, got {type(port).__name__}")
+        if port_name in self.provides:
+            raise CCAError(
+                f"{self.instance_name}: provides port {port_name!r} "
+                f"already registered")
+        self.provides[port_name] = (port, port_type or port.port_type())
+
+    # -- uses ------------------------------------------------------------------
+    def register_uses_port(self, port_name: str, port_type: str) -> None:
+        """Declare that this component calls through ``port_name``."""
+        if port_name in self.uses:
+            raise CCAError(
+                f"{self.instance_name}: uses port {port_name!r} already "
+                f"registered")
+        self.uses[port_name] = port_type
+
+    def get_port(self, port_name: str) -> Port:
+        """Fetch the provider's port connected to a uses port.
+
+        This is the indirection every inter-component call pays — the
+        Python analog of CCAFFEINE's virtual-function-call overhead.
+        """
+        if port_name not in self.uses:
+            raise CCAError(
+                f"{self.instance_name}: {port_name!r} was never registered "
+                f"as a uses port")
+        try:
+            return self._connections[port_name]
+        except KeyError:
+            raise PortNotConnectedError(
+                f"{self.instance_name}: uses port {port_name!r} is not "
+                f"connected") from None
+
+    def release_port(self, port_name: str) -> None:
+        """Signal that the port is no longer needed (bookkeeping no-op
+        here; CCAFFEINE uses it for reference counting)."""
+        if port_name not in self.uses:
+            raise CCAError(
+                f"{self.instance_name}: cannot release unknown port "
+                f"{port_name!r}")
+
+    def is_connected(self, port_name: str) -> bool:
+        return port_name in self._connections
+
+    # -- framework-provided amenities -----------------------------------------
+    def get_parameter(self, key: str, default: Any = None) -> Any:
+        """Script-set parameter lookup (the rc ``parameter`` directive)."""
+        return self.parameters.get(key, default)
+
+    def get_comm(self):
+        """Borrow the framework's scoped communicator (None in serial).
+
+        "The framework lends out a properly scoped MPI communicator to any
+        component to allow access to the parallel virtual machine created
+        by mpirun."  (paper §2)
+        """
+        return self._framework.comm
+
+    # -- internal wiring (called by the framework) -------------------------------
+    def _attach(self, port_name: str, port: Port) -> None:
+        self._connections[port_name] = port
+
+    def _detach(self, port_name: str) -> None:
+        self._connections.pop(port_name, None)

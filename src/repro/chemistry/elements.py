@@ -1,0 +1,18 @@
+"""Atomic weights [kg/mol] for the elements the mechanisms use."""
+
+ATOMIC_WEIGHTS: dict[str, float] = {
+    "H": 1.00794e-3,
+    "O": 15.9994e-3,
+    "N": 14.0067e-3,
+    "C": 12.0107e-3,
+    "AR": 39.948e-3,
+    "HE": 4.002602e-3,
+}
+
+
+def molecular_weight(composition: dict[str, int]) -> float:
+    """Molecular weight [kg/mol] from an elemental composition map."""
+    try:
+        return sum(ATOMIC_WEIGHTS[el] * n for el, n in composition.items())
+    except KeyError as exc:
+        raise KeyError(f"unknown element {exc.args[0]!r}") from None

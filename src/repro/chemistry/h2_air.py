@@ -1,0 +1,92 @@
+"""The 9-species / 19-reaction H2-air mechanism.
+
+"We use a H2-Air mechanism with 9 species and 19 reversible reactions
+[26]."  (paper §4.1, [26] = Yetter, Dryer & Rabitz).  The rate set below
+is the widely used H2/O2 subset of that family (Mueller/Li lineage):
+shuffle reactions, recombination with third bodies, the pressure-dependent
+HO2 formation and the H2O2 loop.  N2 is the inert bath gas.
+
+Deck units are conventional (cm^3, mol, s, cal/mol); conversion to SI
+happens in :func:`repro.chemistry.reaction.Arrhenius.from_cgs`.
+"""
+
+from __future__ import annotations
+
+from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.reaction import Arrhenius, Falloff, Reaction
+from repro.chemistry.thermo_data import make_species
+
+SPECIES_9 = ["H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "N2"]
+
+#: Standard enhanced collision efficiencies for the H2/O2 system.
+_EFF = {"H2": 2.5, "H2O": 12.0}
+
+
+def _r(reactants, products, A, b, Ea, order, third_body=None, falloff=None):
+    return Reaction(
+        reactants=reactants,
+        products=products,
+        rate=Arrhenius.from_cgs(A, b, Ea, order),
+        reversible=True,
+        third_body=third_body,
+        falloff=falloff,
+    )
+
+
+def h2_air_mechanism() -> Mechanism:
+    """Build the 9-species / 19-reaction H2-air mechanism."""
+    species = [make_species(nm) for nm in SPECIES_9]
+    rxns = [
+        # --- H2/O2 chain (shuffle) reactions -------------------------------
+        _r({"H": 1, "O2": 1}, {"O": 1, "OH": 1}, 1.915e14, 0.00, 16440.0, 2),
+        _r({"O": 1, "H2": 1}, {"H": 1, "OH": 1}, 5.080e04, 2.67, 6290.0, 2),
+        _r({"H2": 1, "OH": 1}, {"H2O": 1, "H": 1}, 2.160e08, 1.51, 3430.0, 2),
+        _r({"O": 1, "H2O": 1}, {"OH": 2}, 2.970e06, 2.02, 13400.0, 2),
+        # --- dissociation / recombination with third bodies ----------------
+        _r({"H2": 1}, {"H": 2}, 4.577e19, -1.40, 104380.0, 2,
+           third_body=dict(_EFF)),
+        _r({"O": 2}, {"O2": 1}, 6.165e15, -0.50, 0.0, 3,
+           third_body=dict(_EFF)),
+        _r({"O": 1, "H": 1}, {"OH": 1}, 4.714e18, -1.00, 0.0, 3,
+           third_body=dict(_EFF)),
+        _r({"H": 1, "OH": 1}, {"H2O": 1}, 3.800e22, -2.00, 0.0, 3,
+           third_body=dict(_EFF)),
+        # --- HO2 formation (pressure dependent) and consumption ------------
+        _r({"H": 1, "O2": 1}, {"HO2": 1}, 1.475e12, 0.60, 0.0, 2,
+           third_body=dict(_EFF),
+           falloff=Falloff(low=Arrhenius.from_cgs(
+               6.366e20, -1.72, 524.8, 3))),
+        _r({"HO2": 1, "H": 1}, {"H2": 1, "O2": 1}, 1.660e13, 0.00, 823.0, 2),
+        _r({"HO2": 1, "H": 1}, {"OH": 2}, 7.079e13, 0.00, 295.0, 2),
+        _r({"HO2": 1, "O": 1}, {"O2": 1, "OH": 1}, 3.250e13, 0.00, 0.0, 2),
+        _r({"HO2": 1, "OH": 1}, {"H2O": 1, "O2": 1}, 2.890e13, 0.00,
+           -497.0, 2),
+        # --- H2O2 loop ------------------------------------------------------
+        _r({"HO2": 2}, {"H2O2": 1, "O2": 1}, 4.200e14, 0.00, 11982.0, 2),
+        _r({"H2O2": 1}, {"OH": 2}, 2.951e14, 0.00, 48430.0, 1,
+           third_body=dict(_EFF),
+           falloff=Falloff(low=Arrhenius.from_cgs(
+               1.202e17, 0.00, 45500.0, 2))),
+        _r({"H2O2": 1, "H": 1}, {"H2O": 1, "OH": 1}, 2.410e13, 0.00,
+           3970.0, 2),
+        _r({"H2O2": 1, "H": 1}, {"HO2": 1, "H2": 1}, 4.820e13, 0.00,
+           7950.0, 2),
+        _r({"H2O2": 1, "O": 1}, {"OH": 1, "HO2": 1}, 9.550e06, 2.00,
+           3970.0, 2),
+        _r({"H2O2": 1, "OH": 1}, {"HO2": 1, "H2O": 1}, 1.000e12, 0.00,
+           0.0, 2),
+    ]
+    return Mechanism("h2-air-9sp-19rxn", species, rxns)
+
+
+def stoichiometric_h2_air() -> dict[str, float]:
+    """Stoichiometric H2-air mass fractions (2 H2 + O2 + 3.76 N2)."""
+    from repro.chemistry.thermo_data import make_species as mk
+
+    w = {nm: mk(nm).weight for nm in ("H2", "O2", "N2")}
+    moles = {"H2": 2.0, "O2": 1.0, "N2": 3.76}
+    mass = {nm: moles[nm] * w[nm] for nm in moles}
+    total = sum(mass.values())
+    Y = {nm: 0.0 for nm in SPECIES_9}
+    Y.update({nm: m / total for nm, m in mass.items()})
+    return Y

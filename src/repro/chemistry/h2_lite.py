@@ -1,0 +1,45 @@
+"""The light 8-species / 5-reaction mechanism for the overhead study.
+
+"We created a code identical to the one in Sec. 4.1, except that the
+utilized mechanism had 8 species and 5 reactions ... We deliberately used
+a light-weight RHS, so that the virtual function call would be a larger
+fraction of the computational time."  (paper §5.1, Table 4)
+
+Species: H2, O2, O, OH, H2O, H, HO2, N2 (no H2O2); the five reactions are
+the chain core plus HO2 formation/consumption.
+"""
+
+from __future__ import annotations
+
+from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.reaction import Arrhenius, Reaction
+from repro.chemistry.thermo_data import make_species
+
+SPECIES_8 = ["H2", "O2", "O", "OH", "H2O", "H", "HO2", "N2"]
+
+_EFF = {"H2": 2.5, "H2O": 12.0}
+
+
+def _r(reactants, products, A, b, Ea, order, third_body=None):
+    return Reaction(
+        reactants=reactants,
+        products=products,
+        rate=Arrhenius.from_cgs(A, b, Ea, order),
+        reversible=True,
+        third_body=third_body,
+    )
+
+
+def h2_lite_mechanism() -> Mechanism:
+    """Build the 8-species / 5-reaction light H2-air mechanism."""
+    species = [make_species(nm) for nm in SPECIES_8]
+    rxns = [
+        _r({"H": 1, "O2": 1}, {"O": 1, "OH": 1}, 1.915e14, 0.00, 16440.0, 2),
+        _r({"O": 1, "H2": 1}, {"H": 1, "OH": 1}, 5.080e04, 2.67, 6290.0, 2),
+        _r({"H2": 1, "OH": 1}, {"H2O": 1, "H": 1}, 2.160e08, 1.51,
+           3430.0, 2),
+        _r({"H": 1, "O2": 1}, {"HO2": 1}, 6.366e20, -1.72, 524.8, 3,
+           third_body=dict(_EFF)),
+        _r({"HO2": 1, "H": 1}, {"OH": 2}, 7.079e13, 0.00, 295.0, 2),
+    ]
+    return Mechanism("h2-lite-8sp-5rxn", species, rxns)

@@ -1,0 +1,182 @@
+"""Mechanism: species + reactions with vectorized rate evaluation.
+
+This is the computational heart of the ``ThermoChemistry`` component: given
+temperature and concentrations over a batch of cells it returns net molar
+production rates.  Everything is NumPy-vectorized over the cell axis so a
+patch's worth of chemistry is one call.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.chemistry.nasa7 import R_UNIVERSAL
+from repro.chemistry.reaction import P_REF, Reaction
+from repro.chemistry.species import Species
+from repro.errors import ChemistryError
+
+
+class Mechanism:
+    """A reaction mechanism over a fixed species set.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"h2-air-9sp-19rxn"``).
+    species:
+        Ordered species list; array layouts follow this order.
+    reactions:
+        Elementary reactions (balance-checked on construction).
+    """
+
+    def __init__(self, name: str, species: Sequence[Species],
+                 reactions: Sequence[Reaction]) -> None:
+        self.name = name
+        self.species = list(species)
+        self.reactions = list(reactions)
+        if not self.species:
+            raise ChemistryError("mechanism needs at least one species")
+        self._index = {sp.name: k for k, sp in enumerate(self.species)}
+        if len(self._index) != len(self.species):
+            raise ChemistryError("duplicate species names")
+        by_name = {sp.name: sp for sp in self.species}
+        for rxn in self.reactions:
+            for side in (rxn.reactants, rxn.products):
+                for nm in side:
+                    if nm not in self._index:
+                        raise ChemistryError(
+                            f"reaction {rxn.equation()} uses unknown "
+                            f"species {nm!r}")
+            rxn.check_balance(by_name)
+        ns, nr = len(self.species), len(self.reactions)
+        self.nu_react = np.zeros((ns, nr))
+        self.nu_prod = np.zeros((ns, nr))
+        for j, rxn in enumerate(self.reactions):
+            for nm, nu in rxn.reactants.items():
+                self.nu_react[self._index[nm], j] = nu
+            for nm, nu in rxn.products.items():
+                self.nu_prod[self._index[nm], j] = nu
+        self.nu_net = self.nu_prod - self.nu_react
+        #: Molecular weights [kg/mol], shape (nspecies,).
+        self.weights = np.array([sp.weight for sp in self.species])
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def n_species(self) -> int:
+        return len(self.species)
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    @property
+    def names(self) -> list[str]:
+        return [sp.name for sp in self.species]
+
+    def species_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ChemistryError(
+                f"no species {name!r} in mechanism {self.name}") from None
+
+    # -- mixture thermodynamics (mass basis, vectorized over cells) ----------
+    def mean_weight(self, Y: np.ndarray) -> np.ndarray:
+        """Mixture molecular weight [kg/mol]; ``Y`` shape (nsp, ...)."""
+        return 1.0 / np.einsum("i...,i->...", np.asarray(Y),
+                               1.0 / self.weights)
+
+    def density(self, T: np.ndarray, P: np.ndarray | float,
+                Y: np.ndarray) -> np.ndarray:
+        """Ideal-gas density [kg/m^3]."""
+        W = self.mean_weight(Y)
+        return np.asarray(P) * W / (R_UNIVERSAL * np.asarray(T))
+
+    def pressure(self, T: np.ndarray, rho: np.ndarray,
+                 Y: np.ndarray) -> np.ndarray:
+        """Ideal-gas pressure [Pa]."""
+        W = self.mean_weight(Y)
+        return np.asarray(rho) * R_UNIVERSAL * np.asarray(T) / W
+
+    def concentrations(self, rho: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Molar concentrations [mol/m^3], shape (nsp, ...)."""
+        return (np.asarray(rho) * np.asarray(Y)
+                / self.weights.reshape((-1,) + (1,) * (np.ndim(Y) - 1)))
+
+    def cp_mass(self, T: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Mixture specific heat at constant pressure [J/(kg K)]."""
+        cps = np.stack([sp.thermo.cp_mol(T) / sp.weight
+                        for sp in self.species])
+        return np.einsum("i...,i...->...", np.asarray(Y), cps)
+
+    def cv_mass(self, T: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Mixture specific heat at constant volume [J/(kg K)]."""
+        W = self.mean_weight(Y)
+        return self.cp_mass(T, Y) - R_UNIVERSAL / W
+
+    def h_mass_species(self, T: np.ndarray) -> np.ndarray:
+        """Per-species specific enthalpies [J/kg], shape (nsp, ...)."""
+        return np.stack([sp.thermo.h_mol(T) / sp.weight
+                         for sp in self.species])
+
+    def u_mass_species(self, T: np.ndarray) -> np.ndarray:
+        """Per-species specific internal energies [J/kg]."""
+        T = np.asarray(T, dtype=float)
+        h = self.h_mass_species(T)
+        return h - R_UNIVERSAL * T / self.weights.reshape(
+            (-1,) + (1,) * (np.ndim(T)))
+
+    def h_mass(self, T: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Mixture specific enthalpy [J/kg]."""
+        return np.einsum("i...,i...->...", np.asarray(Y),
+                         self.h_mass_species(T))
+
+    # -- kinetics -------------------------------------------------------------
+    def progress_rates(self, T: np.ndarray, C: np.ndarray) -> np.ndarray:
+        """Net rate of progress per reaction [mol/(m^3 s)].
+
+        ``T`` shape (...,), ``C`` shape (nsp, ...).  Reverse rates follow
+        from NASA-7 equilibrium constants.
+        """
+        T = np.asarray(T, dtype=float)
+        C = np.maximum(np.asarray(C, dtype=float), 0.0)
+        g_RT = np.stack([sp.thermo.g_RT(T) for sp in self.species])
+        RT_over_P = R_UNIVERSAL * T / P_REF
+        q = np.zeros((self.n_reactions,) + T.shape)
+        for j, rxn in enumerate(self.reactions):
+            kf = rxn.rate.k(T)
+            conc_m = None
+            if rxn.has_third_body:
+                conc_m = C.sum(axis=0).astype(float)
+                for nm, eff in rxn.third_body.items():
+                    conc_m = conc_m + (eff - 1.0) * C[self._index[nm]]
+            if rxn.falloff is not None:
+                kf = rxn.falloff.blend(kf, T, conc_m)
+            fwd = kf
+            for nm, nu in rxn.reactants.items():
+                fwd = fwd * C[self._index[nm]] ** nu
+            rate = fwd
+            if rxn.reversible:
+                dg = (self.nu_net[:, j][(...,) + (None,) * T.ndim]
+                      * g_RT).sum(axis=0)
+                ln_kc = -dg - rxn.delta_nu() * np.log(RT_over_P)
+                kr = kf * np.exp(-np.clip(ln_kc, -600, 600))
+                rev = kr
+                for nm, nu in rxn.products.items():
+                    rev = rev * C[self._index[nm]] ** nu
+                rate = rate - rev
+            if rxn.has_third_body and rxn.falloff is None:
+                rate = rate * conc_m
+            q[j] = rate
+        return q
+
+    def wdot(self, T: np.ndarray, C: np.ndarray) -> np.ndarray:
+        """Net molar production rates [mol/(m^3 s)], shape (nsp, ...)."""
+        q = self.progress_rates(T, C)
+        return np.tensordot(self.nu_net, q, axes=([1], [0]))
+
+    def __repr__(self) -> str:
+        return (f"Mechanism({self.name}: {self.n_species} species, "
+                f"{self.n_reactions} reactions)")

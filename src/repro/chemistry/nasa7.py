@@ -1,0 +1,89 @@
+"""NASA-7 polynomial thermodynamics.
+
+Standard two-range 7-coefficient parameterization:
+
+    cp/R  = a1 + a2 T + a3 T^2 + a4 T^3 + a5 T^4
+    h/RT  = a1 + a2/2 T + a3/3 T^2 + a4/4 T^3 + a5/5 T^4 + a6/T
+    s/R   = a1 ln T + a2 T + a3/2 T^2 + a4/3 T^3 + a5/4 T^4 + a7
+
+All evaluators are vectorized over temperature arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChemistryError
+
+#: Universal gas constant [J / (mol K)]
+R_UNIVERSAL = 8.31446261815324
+
+
+@dataclass(frozen=True)
+class Nasa7:
+    """Two-range NASA-7 polynomial for one species.
+
+    ``low`` covers ``[t_min, t_mid]``; ``high`` covers ``[t_mid, t_max]``.
+    Out-of-range temperatures are evaluated with the nearest range
+    (standard practice: polynomials extrapolate smoothly enough for the
+    transients integrators probe).
+    """
+
+    low: tuple[float, ...]
+    high: tuple[float, ...]
+    t_mid: float = 1000.0
+    t_min: float = 200.0
+    t_max: float = 3500.0
+
+    def __post_init__(self) -> None:
+        if len(self.low) != 7 or len(self.high) != 7:
+            raise ChemistryError("NASA-7 needs exactly 7 coefficients per range")
+        if not (self.t_min < self.t_mid < self.t_max):
+            raise ChemistryError(
+                f"bad temperature ranges {self.t_min}/{self.t_mid}/{self.t_max}")
+
+    def _coeffs(self, T: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Per-temperature coefficient arrays (vectorized range select)."""
+        low = np.asarray(self.low)
+        high = np.asarray(self.high)
+        use_high = (np.asarray(T) >= self.t_mid)[..., None]
+        a = np.where(use_high, high, low)
+        return tuple(a[..., k] for k in range(7))
+
+    def cp_R(self, T: np.ndarray | float) -> np.ndarray:
+        """Dimensionless heat capacity cp/R."""
+        T = np.asarray(T, dtype=float)
+        a1, a2, a3, a4, a5, _, _ = self._coeffs(T)
+        return a1 + T * (a2 + T * (a3 + T * (a4 + T * a5)))
+
+    def h_RT(self, T: np.ndarray | float) -> np.ndarray:
+        """Dimensionless enthalpy h/(RT)."""
+        T = np.asarray(T, dtype=float)
+        a1, a2, a3, a4, a5, a6, _ = self._coeffs(T)
+        return (a1 + T * (a2 / 2 + T * (a3 / 3 + T * (a4 / 4 + T * a5 / 5)))
+                + a6 / T)
+
+    def s_R(self, T: np.ndarray | float) -> np.ndarray:
+        """Dimensionless entropy s/R (standard state)."""
+        T = np.asarray(T, dtype=float)
+        a1, a2, a3, a4, a5, _, a7 = self._coeffs(T)
+        return (a1 * np.log(T) + T * (a2 + T * (a3 / 2 + T * (a4 / 3
+                + T * a5 / 4))) + a7)
+
+    def g_RT(self, T: np.ndarray | float) -> np.ndarray:
+        """Dimensionless Gibbs energy g/(RT) = h/(RT) - s/R."""
+        return self.h_RT(T) - self.s_R(T)
+
+    def cp_mol(self, T) -> np.ndarray:
+        """Molar heat capacity [J/(mol K)]."""
+        return self.cp_R(T) * R_UNIVERSAL
+
+    def h_mol(self, T) -> np.ndarray:
+        """Molar enthalpy [J/mol] (includes heat of formation)."""
+        return self.h_RT(T) * R_UNIVERSAL * np.asarray(T, dtype=float)
+
+    def s_mol(self, T) -> np.ndarray:
+        """Molar entropy [J/(mol K)]."""
+        return self.s_R(T) * R_UNIVERSAL

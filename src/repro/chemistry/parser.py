@@ -1,0 +1,205 @@
+"""A Chemkin-flavoured mechanism deck parser.
+
+The paper's F77 thermochemistry libraries read Chemkin-format input; this
+parser accepts the same conceptual deck — ELEMENTS / SPECIES / REACTIONS
+sections with modified-Arrhenius coefficients, third bodies (``+M``,
+enhanced efficiencies) and LOW/TROE falloff lines — and builds a
+:class:`~repro.chemistry.mechanism.Mechanism`.  Thermo data comes from the
+built-in NASA-7 table (:mod:`repro.chemistry.thermo_data`).
+
+Supported grammar (one reaction per line, ``!`` comments)::
+
+    ELEMENTS H O N END
+    SPECIES H2 O2 OH ... END
+    REACTIONS            ! A [cm^3/mol/s], b, Ea [cal/mol]
+    H + O2 <=> O + OH        1.915E+14  0.00  1.644E+04
+    H2 + M <=> H + H + M     4.577E+19 -1.40  1.044E+05
+        H2 / 2.5 /  H2O / 12.0 /
+    H + O2 (+M) <=> HO2 (+M) 1.475E+12  0.60  0.0
+        LOW / 6.366E+20 -1.72 524.8 /
+        H2 / 2.5 /  H2O / 12.0 /
+    END
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.reaction import Arrhenius, Falloff, Reaction
+from repro.chemistry.thermo_data import available_species, make_species
+from repro.errors import ChemistryError
+
+_EFF_RE = re.compile(r"([A-Za-z0-9()*]+)\s*/\s*([0-9.eE+-]+)\s*/")
+
+
+def parse_mechanism(text: str, name: str = "parsed") -> Mechanism:
+    """Parse a deck into a Mechanism (see module docstring)."""
+    species_names: list[str] = []
+    reactions: list[Reaction] = []
+    section = None
+    pending: dict | None = None
+
+    def finish_pending() -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        rate = Arrhenius.from_cgs(pending["A"], pending["b"],
+                                  pending["Ea"], pending["order"])
+        falloff = None
+        if pending["low"] is not None:
+            low_a, low_b, low_e = pending["low"]
+            falloff = Falloff(
+                low=Arrhenius.from_cgs(low_a, low_b, low_e,
+                                       pending["order"] + 1),
+                troe=pending["troe"],
+            )
+        reactions.append(Reaction(
+            reactants=pending["reactants"],
+            products=pending["products"],
+            rate=rate,
+            reversible=pending["reversible"],
+            third_body=pending["third_body"],
+            falloff=falloff,
+        ))
+        pending = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("!", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("ELEMENTS"):
+            section = "elements"
+            continue
+        if upper.startswith("SPECIES"):
+            section = "species"
+            line = line[len("SPECIES"):].strip()
+            if not line:
+                continue
+        if upper.startswith("REACTIONS"):
+            section = "reactions"
+            continue
+        if upper == "END":
+            if section == "reactions":
+                finish_pending()
+            section = None
+            continue
+        if section == "elements":
+            continue  # elements come from the thermo table
+        if section == "species":
+            for token in line.split():
+                if token.upper() == "END":
+                    section = None
+                    break
+                if token not in available_species():
+                    raise ChemistryError(
+                        f"line {line_no}: no thermo data for species "
+                        f"{token!r}")
+                species_names.append(token)
+            continue
+        if section == "reactions":
+            if upper.startswith("LOW"):
+                if pending is None:
+                    raise ChemistryError(
+                        f"line {line_no}: LOW without a reaction")
+                nums = re.findall(r"[-+0-9.eE]+", line.split("/", 1)[1])
+                if len(nums) < 3:
+                    raise ChemistryError(
+                        f"line {line_no}: LOW needs 3 coefficients")
+                pending["low"] = tuple(float(v) for v in nums[:3])
+                continue
+            if upper.startswith("TROE"):
+                if pending is None:
+                    raise ChemistryError(
+                        f"line {line_no}: TROE without a reaction")
+                nums = re.findall(r"[-+0-9.eE]+", line.split("/", 1)[1])
+                pending["troe"] = tuple(float(v) for v in nums)
+                continue
+            if "/" in line and "=" not in line:
+                if pending is None:
+                    raise ChemistryError(
+                        f"line {line_no}: efficiencies without a reaction")
+                for nm, eff in _EFF_RE.findall(line):
+                    if pending["third_body"] is None:
+                        raise ChemistryError(
+                            f"line {line_no}: efficiencies on a reaction "
+                            f"without +M")
+                    pending["third_body"][nm] = float(eff)
+                continue
+            finish_pending()
+            pending = _parse_reaction_line(line, line_no)
+            continue
+        raise ChemistryError(
+            f"line {line_no}: content outside any section: {raw!r}")
+    finish_pending()
+    if not species_names:
+        raise ChemistryError("deck declares no species")
+    species = [make_species(nm) for nm in species_names]
+    return Mechanism(name, species, reactions)
+
+
+def _parse_reaction_line(line: str, line_no: int) -> dict:
+    tokens = line.split()
+    if len(tokens) < 4:
+        raise ChemistryError(
+            f"line {line_no}: need '<equation> A b Ea', got {line!r}")
+    try:
+        A, b, Ea = (float(v) for v in tokens[-3:])
+    except ValueError:
+        raise ChemistryError(
+            f"line {line_no}: last three tokens must be A b Ea "
+            f"in {line!r}") from None
+    equation = " ".join(tokens[:-3])
+    reversible = "<=>" in equation or ("=" in equation
+                                       and "=>" not in equation)
+    sep = "<=>" if "<=>" in equation else ("=>" if "=>" in equation
+                                           else "=")
+    try:
+        lhs, rhs = equation.split(sep)
+    except ValueError:
+        raise ChemistryError(
+            f"line {line_no}: bad equation {equation!r}") from None
+    falloff_m = "(+M)" in lhs.replace(" ", "") or \
+        "(+M)" in rhs.replace(" ", "")
+    plain_m = False
+    lhs = lhs.replace("(+M)", " ").replace("(+m)", " ")
+    rhs = rhs.replace("(+M)", " ").replace("(+m)", " ")
+
+    def parse_side(side: str) -> tuple[dict[str, int], bool]:
+        out: dict[str, int] = {}
+        has_m = False
+        for term in side.split("+"):
+            term = term.strip()
+            if not term:
+                continue
+            if term.upper() == "M":
+                has_m = True
+                continue
+            m = re.match(r"^(\d+)\s*(.+)$", term)
+            if m:
+                nu, nm = int(m.group(1)), m.group(2).strip()
+            else:
+                nu, nm = 1, term
+            out[nm] = out.get(nm, 0) + nu
+        return out, has_m
+
+    reactants, m_l = parse_side(lhs)
+    products, m_r = parse_side(rhs)
+    plain_m = m_l or m_r
+    if plain_m and (m_l != m_r):
+        raise ChemistryError(
+            f"line {line_no}: +M must appear on both sides")
+    order = sum(reactants.values()) + (1 if plain_m else 0)
+    return {
+        "reactants": reactants,
+        "products": products,
+        "A": A,
+        "b": b,
+        "Ea": Ea,
+        "order": order,
+        "reversible": reversible,
+        "third_body": {} if (plain_m or falloff_m) else None,
+        "low": None,
+        "troe": None,
+    }

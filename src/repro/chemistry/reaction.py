@@ -1,0 +1,155 @@
+"""Elementary reactions: Arrhenius rates, third bodies, falloff,
+reversibility through equilibrium.
+
+Rate constants follow the modified Arrhenius form ``k = A T^b exp(-Ea/RT)``
+(SI units internally).  Reverse rates come from the equilibrium constant
+computed from NASA-7 Gibbs energies — the standard Chemkin convention the
+paper's F77 thermochemistry libraries implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chemistry.nasa7 import R_UNIVERSAL
+from repro.errors import ChemistryError
+
+#: Reference pressure for equilibrium constants [Pa].
+P_REF = 101325.0
+
+#: Calories per Joule conversion for input decks.
+CAL_TO_J = 4.184
+
+
+@dataclass(frozen=True)
+class Arrhenius:
+    """Modified Arrhenius parameters (SI: mol, m^3, s, J/mol)."""
+
+    A: float
+    b: float = 0.0
+    Ea: float = 0.0
+
+    def k(self, T: np.ndarray | float) -> np.ndarray:
+        """Rate constant at temperature(s) ``T``."""
+        T = np.asarray(T, dtype=float)
+        return self.A * T**self.b * np.exp(-self.Ea / (R_UNIVERSAL * T))
+
+    @staticmethod
+    def from_cgs(A: float, b: float, Ea_cal: float, order: int) -> "Arrhenius":
+        """Convert deck units: A in (cm^3/mol)^(order-1)/s, Ea in cal/mol.
+
+        ``order`` is the molecularity of the (forward) reaction including
+        any third body.
+        """
+        return Arrhenius(A * (1e-6) ** (order - 1), b, Ea_cal * CAL_TO_J)
+
+
+@dataclass(frozen=True)
+class Falloff:
+    """Lindemann / Troe pressure falloff between ``low`` (k0) and the
+    high-pressure limit.  ``troe`` holds (a, T***, T*, T**) or None for
+    pure Lindemann blending."""
+
+    low: Arrhenius
+    troe: tuple[float, ...] | None = None
+
+    def blend(self, k_inf: np.ndarray, T: np.ndarray,
+              conc_m: np.ndarray) -> np.ndarray:
+        """Effective rate constant given the third-body concentration."""
+        k0 = self.low.k(T)
+        pr = np.maximum(k0 * conc_m / np.maximum(k_inf, 1e-300), 1e-300)
+        f = pr / (1.0 + pr)
+        if self.troe is not None:
+            a = self.troe[0]
+            t3, t1 = self.troe[1], self.troe[2]
+            fcent = (1.0 - a) * np.exp(-T / t3) + a * np.exp(-T / t1)
+            if len(self.troe) > 3 and self.troe[3] > 0.0:
+                fcent = fcent + np.exp(-self.troe[3] / T)
+            fcent = np.maximum(fcent, 1e-300)
+            log_fc = np.log10(fcent)
+            c = -0.4 - 0.67 * log_fc
+            n = 0.75 - 1.27 * log_fc
+            log_pr = np.log10(pr)
+            inner = (log_pr + c) / (n - 0.14 * (log_pr + c))
+            log_f = log_fc / (1.0 + inner**2)
+            f = f * 10.0**log_f
+        return k_inf * f
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One (possibly reversible) elementary reaction.
+
+    Attributes
+    ----------
+    reactants / products:
+        ``{species_name: stoichiometric coefficient}``.
+    rate:
+        High-pressure / plain Arrhenius parameters.
+    reversible:
+        Reverse rate from equilibrium when True.
+    third_body:
+        ``None`` (no third body) or a dict of collision efficiencies
+        (default efficiency 1.0 for unlisted species).
+    falloff:
+        Optional pressure falloff (requires a third body).
+    """
+
+    reactants: dict[str, int]
+    products: dict[str, int]
+    rate: Arrhenius
+    reversible: bool = True
+    third_body: dict[str, float] | None = None
+    falloff: Falloff | None = None
+
+    def __post_init__(self) -> None:
+        if not self.reactants or not self.products:
+            raise ChemistryError("reaction needs reactants and products")
+        if self.falloff is not None and self.third_body is None:
+            raise ChemistryError("falloff reactions need a third body")
+        for side in (self.reactants, self.products):
+            for name, nu in side.items():
+                if nu < 1:
+                    raise ChemistryError(
+                        f"stoichiometric coefficient of {name} must be >= 1")
+
+    @property
+    def has_third_body(self) -> bool:
+        return self.third_body is not None
+
+    def equation(self) -> str:
+        """Human-readable equation string."""
+
+        def side(d: dict[str, int]) -> str:
+            terms = [(f"{nu} " if nu > 1 else "") + name
+                     for name, nu in d.items()]
+            return " + ".join(terms)
+
+        m = ""
+        if self.has_third_body:
+            m = " (+M)" if self.falloff else " + M"
+        arrow = " <=> " if self.reversible else " => "
+        return side(self.reactants) + m + arrow + side(self.products) + m
+
+    def delta_nu(self) -> int:
+        """Mole change products - reactants (gas phase, no third body)."""
+        return sum(self.products.values()) - sum(self.reactants.values())
+
+    def check_balance(self, species_by_name: dict) -> None:
+        """Verify elemental balance; raises ChemistryError if violated."""
+        elements: dict[str, int] = {}
+        for name, nu in self.reactants.items():
+            for el, n in species_by_name[name].composition.items():
+                elements[el] = elements.get(el, 0) + nu * n
+        for name, nu in self.products.items():
+            for el, n in species_by_name[name].composition.items():
+                elements[el] = elements.get(el, 0) - nu * n
+        bad = {el: n for el, n in elements.items() if n != 0}
+        if bad:
+            raise ChemistryError(
+                f"unbalanced reaction {self.equation()}: {bad}")
+
+    def __repr__(self) -> str:
+        return f"Reaction({self.equation()})"

@@ -1,0 +1,44 @@
+"""Species descriptors: name, composition, molecular weight, thermo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chemistry.elements import molecular_weight
+from repro.chemistry.nasa7 import Nasa7
+from repro.errors import ChemistryError
+
+
+@dataclass(frozen=True)
+class Species:
+    """One chemical species.
+
+    Attributes
+    ----------
+    name:
+        Conventional symbol, e.g. ``"H2O"``.
+    composition:
+        Elemental make-up, e.g. ``{"H": 2, "O": 1}``.
+    thermo:
+        NASA-7 polynomial set.
+    weight:
+        Molecular weight [kg/mol]; derived from composition when omitted.
+    """
+
+    name: str
+    composition: dict[str, int]
+    thermo: Nasa7
+    weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ChemistryError("species needs a name")
+        if self.weight <= 0.0:
+            object.__setattr__(
+                self, "weight", molecular_weight(self.composition))
+
+    def n_atoms(self, element: str) -> int:
+        return self.composition.get(element, 0)
+
+    def __repr__(self) -> str:
+        return f"Species({self.name}, W={self.weight * 1e3:.3f} g/mol)"

@@ -1,0 +1,135 @@
+"""Zero-dimensional reactor models.
+
+The paper's 0D ignition problem (§4.1) solves ``dΦ/dt = G(Φ)`` with
+``Φ = {T, Y_1, ..., Y_{N-1}, P0}`` in a rigid, adiabatic vessel (constant
+mass and volume); the pressure equation is supplied by the ``dPdt``
+component.  :class:`ConstantVolumeReactor` mirrors that state layout.
+:class:`ConstantPressureReactor` is the per-cell chemistry model of the 2D
+reaction-diffusion flame ("pressure is assumed to be constant in time and
+space, i.e. burning in an open domain").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chemistry.mechanism import Mechanism
+from repro.chemistry.nasa7 import R_UNIVERSAL
+from repro.errors import ChemistryError
+
+
+class ConstantPressureReactor:
+    """Adiabatic constant-pressure reactor.
+
+    State vector: ``y = [T, Y_0, ..., Y_{ns-1}]`` (length ``ns + 1``).
+    """
+
+    def __init__(self, mech: Mechanism, pressure: float) -> None:
+        if pressure <= 0.0:
+            raise ChemistryError(f"non-positive pressure {pressure}")
+        self.mech = mech
+        self.pressure = float(pressure)
+        self.nfe = 0  #: number of RHS evaluations (Table 4's NFE)
+
+    @property
+    def n_state(self) -> int:
+        return self.mech.n_species + 1
+
+    def initial_state(self, T0: float, Y0: dict[str, float] | np.ndarray
+                      ) -> np.ndarray:
+        return _pack_state(self.mech, T0, Y0)
+
+    def unpack(self, y: np.ndarray) -> tuple[float, np.ndarray]:
+        return float(y[0]), np.asarray(y[1:])
+
+    def rhs(self, t: float, y: np.ndarray) -> np.ndarray:
+        """dy/dt = G(y) at constant pressure."""
+        self.nfe += 1
+        mech = self.mech
+        T = max(float(y[0]), 50.0)
+        Y = np.clip(y[1:], 0.0, None)
+        rho = mech.density(T, self.pressure, Y)
+        C = mech.concentrations(rho, Y)
+        wdot = mech.wdot(T, C)
+        dY = wdot * mech.weights / rho
+        h = mech.h_mass_species(T)
+        cp = mech.cp_mass(T, Y)
+        dT = -float(np.dot(h, wdot * mech.weights)) / (rho * cp)
+        return np.concatenate(([dT], dY))
+
+
+class ConstantVolumeReactor:
+    """Adiabatic constant-mass, constant-volume reactor (rigid walls).
+
+    State vector: ``y = [T, Y_0, ..., Y_{ns-1}, P]`` — pressure rides along
+    exactly as in the paper's Φ, with its own evolution equation (the
+    ``dPdt`` closure).
+    """
+
+    def __init__(self, mech: Mechanism, T0: float, P0: float,
+                 Y0: dict[str, float] | np.ndarray) -> None:
+        if T0 <= 0.0 or P0 <= 0.0:
+            raise ChemistryError("initial T and P must be positive")
+        self.mech = mech
+        state0 = _pack_state(mech, T0, Y0)
+        #: fixed density set by the initial fill [kg/m^3]
+        self.rho = float(mech.density(T0, P0, state0[1:]))
+        self._y0 = np.concatenate((state0, [P0]))
+        self.nfe = 0
+
+    @property
+    def n_state(self) -> int:
+        return self.mech.n_species + 2
+
+    def initial_state(self) -> np.ndarray:
+        return self._y0.copy()
+
+    def unpack(self, y: np.ndarray) -> tuple[float, np.ndarray, float]:
+        return float(y[0]), np.asarray(y[1:-1]), float(y[-1])
+
+    def rhs(self, t: float, y: np.ndarray) -> np.ndarray:
+        """dy/dt = G(y) at constant mass and volume."""
+        self.nfe += 1
+        mech = self.mech
+        T = max(float(y[0]), 50.0)
+        Y = np.clip(y[1:-1], 0.0, None)
+        rho = self.rho
+        C = mech.concentrations(rho, Y)
+        wdot = mech.wdot(T, C)
+        dY = wdot * mech.weights / rho
+        u = mech.u_mass_species(T)
+        cv = mech.cv_mass(T, Y)
+        dT = -float(np.dot(u, wdot * mech.weights)) / (rho * cv)
+        dP = self.dPdt(T, Y, dT, dY)
+        return np.concatenate(([dT], dY, [dP]))
+
+    def dPdt(self, T: float, Y: np.ndarray, dT: float,
+             dY: np.ndarray) -> float:
+        """Pressure evolution for the rigid adiabatic vessel.
+
+        From P = ρ R T / W̄ with ρ fixed:
+        dP/dt = ρ R (dT/dt / W̄ + T Σ_i (dY_i/dt) / W_i).
+        This is exactly what the paper's ``dPdt`` component supplies to the
+        heat equation through the ``problemModeler`` adaptor.
+        """
+        mech = self.mech
+        inv_W = float(np.dot(Y, 1.0 / mech.weights))
+        dinv_W = float(np.dot(dY, 1.0 / mech.weights))
+        return self.rho * R_UNIVERSAL * (dT * inv_W + T * dinv_W)
+
+
+def _pack_state(mech: Mechanism, T0: float,
+                Y0: dict[str, float] | np.ndarray) -> np.ndarray:
+    if isinstance(Y0, dict):
+        Y = np.zeros(mech.n_species)
+        for nm, val in Y0.items():
+            Y[mech.species_index(nm)] = val
+    else:
+        Y = np.asarray(Y0, dtype=float)
+        if Y.shape != (mech.n_species,):
+            raise ChemistryError(
+                f"Y0 must have {mech.n_species} entries, got {Y.shape}")
+    total = Y.sum()
+    if not np.isclose(total, 1.0, atol=1e-8):
+        raise ChemistryError(f"mass fractions sum to {total}, expected 1")
+    return np.concatenate(([float(T0)], Y / total))

@@ -1,0 +1,92 @@
+"""The paper's concrete components.
+
+Each class here is a CCA component wrapping one substrate capability,
+named after its counterpart in the paper's Tables 1-3:
+
+====================  =====================================================
+Component             Role (paper reference)
+====================  =====================================================
+GrACEComponent        Mesh + Data Object + default BCs (§4.2, Table 2)
+Initializer           0D initial condition (§4.1, Table 1)
+InitialCondition      three hot-spots flame IC (§4.2, Table 2)
+ConicalInterfaceIC    shock-tube + oblique interface IC (§4.3, Table 3)
+CvodeComponent        stiff/non-stiff implicit integrator (§4.1)
+ThermoChemistry       chemistry source terms + gas-property database
+ProblemModeler        0D adaptor adding the pressure term (§4.1)
+DPDt                  pressure-evolution closure (§4.1)
+ExplicitIntegrator    RKC driver over the hierarchy (§4.2)
+DiffusionPhysics      diffusion fluxes K∇·(B∇Φ) (§4.2)
+DRFMComponent         mixture-averaged diffusion coefficients (§4.2)
+MaxDiffCoeffEvaluator dynamic-timestep eigenvalue bound (§4.2)
+ImplicitIntegrator    per-cell chemistry adaptor (§4.2)
+ErrorEstAndRegrid     gradient flagging + regrid trigger (§4.2, §4.3)
+StatisticsComponent   run-time observables (§4.3)
+ExplicitIntegratorRK2 RK2 hydro integrator (§4.3)
+CharacteristicQuantities  CFL wave speeds (§4.3)
+InviscidFlux          Euler RHS adaptor (§4.3)
+States                MUSCL interface states (§4.3)
+GodunovFlux           exact-Riemann interface flux (§4.3)
+EFMFlux               kinetic interface flux for strong shocks (§4.3)
+BoundaryConditions    reflecting/outflow/inflow fills (§4.3)
+GasProperties         gamma etc. database (§4.3)
+ProlongRestrict       cell-centered interpolations (§4.3)
+====================  =====================================================
+"""
+
+from repro.components.grace import GrACEComponent
+from repro.components.initializers import (
+    ConicalInterfaceIC,
+    InitialCondition,
+    Initializer,
+)
+from repro.components.cvode_component import CvodeComponent
+from repro.components.thermochem import ThermoChemistry
+from repro.components.problem_modeler import DPDt, ProblemModeler
+from repro.components.explicit_integrator import ExplicitIntegrator
+from repro.components.diffusion_physics import DiffusionPhysics
+from repro.components.drfm import DRFMComponent
+from repro.components.maxdiffcoeff import MaxDiffCoeffEvaluator
+from repro.components.implicit_adaptor import ImplicitIntegrator
+from repro.components.error_regrid import ErrorEstAndRegrid
+from repro.components.statistics import StatisticsComponent
+from repro.components.rk2_integrator import (
+    CharacteristicQuantities,
+    ExplicitIntegratorRK2,
+)
+from repro.components.inviscid_flux import InviscidFlux, States
+from repro.components.flux_components import EFMFlux, GodunovFlux
+from repro.components.boundary import BoundaryConditions
+from repro.components.gas_properties import GasProperties
+from repro.components.prolong_restrict import ProlongRestrict
+from repro.components.balancers import GreedyBalancer, SFCBalancer
+
+ALL_COMPONENTS = [
+    GreedyBalancer,
+    SFCBalancer,
+    GrACEComponent,
+    Initializer,
+    InitialCondition,
+    ConicalInterfaceIC,
+    CvodeComponent,
+    ThermoChemistry,
+    ProblemModeler,
+    DPDt,
+    ExplicitIntegrator,
+    DiffusionPhysics,
+    DRFMComponent,
+    MaxDiffCoeffEvaluator,
+    ImplicitIntegrator,
+    ErrorEstAndRegrid,
+    StatisticsComponent,
+    ExplicitIntegratorRK2,
+    CharacteristicQuantities,
+    InviscidFlux,
+    States,
+    GodunovFlux,
+    EFMFlux,
+    BoundaryConditions,
+    GasProperties,
+    ProlongRestrict,
+]
+
+__all__ = [cls.__name__ for cls in ALL_COMPONENTS] + ["ALL_COMPONENTS"]

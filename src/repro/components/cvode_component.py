@@ -1,0 +1,56 @@
+"""CvodeComponent: the implicit stiff/non-stiff integrator.
+
+"CvodeComponent is an implicit stiff/non-stiff integrator that
+time-advances the system as it ignites.  This is a thin wrapper around the
+Cvode integrator library."  (paper §4.1)  Our wrapped "library" is
+:class:`repro.integrators.cvode.CVode`.
+
+Provides ``solver`` (ODESolverPort); uses ``rhs`` (VectorRHSPort).
+Parameters: ``rtol``, ``atol``, ``method`` (``bdf``/``adams``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.integrator import ODESolverPort
+from repro.integrators.cvode import CVode
+
+
+class _Solver(ODESolverPort):
+    def __init__(self, owner: "CvodeComponent") -> None:
+        self.owner = owner
+        self._last_nfe = 0
+        self.total_nfe = 0
+        self.total_steps = 0
+
+    def integrate(self, t0: float, y0: np.ndarray, t1: float) -> np.ndarray:
+        rhs_port = self.owner.services.get_port("rhs")
+        p = self.owner.services.parameters
+        cv = CVode(
+            rhs_port.rhs,
+            t0,
+            np.asarray(y0, dtype=float),
+            rtol=p.get_float("rtol", 1e-8),
+            atol=p.get_float("atol", 1e-12),
+            method=p.get_str("method", "bdf"),
+        )
+        y = cv.integrate_to(t1)
+        self._last_nfe = cv.stats.nfe
+        self.total_nfe += cv.stats.nfe
+        self.total_steps += cv.stats.nsteps
+        return y
+
+    def last_nfe(self) -> int:
+        return self._last_nfe
+
+
+class CvodeComponent(Component):
+    """Thin wrapper around the CVode integrator (see module docstring)."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        self.solver = _Solver(self)
+        services.register_uses_port("rhs", "VectorRHSPort")
+        services.add_provides_port(self.solver, "solver")

@@ -1,0 +1,84 @@
+"""DiffusionPhysics: the diffusive transport source term.
+
+Evaluates ``K ∇·(B ∇Φ)`` of the paper's Eq. 3, patch by patch:
+``Φ = [T, Y_1..Y_N]``, ``K = (1/ρ)[1/cp, 1, ..., 1]``,
+``B = [λ, ρD_1, ..., ρD_N]`` — heat conduction plus mixture-averaged
+Fickian species diffusion.  Face coefficients are arithmetic means of the
+cell-centered values; the stencil needs one ghost ring.
+
+Provides ``rhs`` (PatchRHSPort); uses ``transport`` and ``chem``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.rhs import PatchRHSPort
+from repro.errors import CCAError
+
+
+def _div_flux(phi: np.ndarray, B: np.ndarray, dx: float,
+              dy: float) -> np.ndarray:
+    """∇·(B ∇φ) over the interior (arrays carry >= 1 ghost ring); operates
+    on the last two axes of (nvar, NX, NY) inputs."""
+    Bx = 0.5 * (B[:, 1:, :] + B[:, :-1, :])       # faces along x
+    fx = Bx * (phi[:, 1:, :] - phi[:, :-1, :]) / dx
+    div_x = (fx[:, 1:, 1:-1] - fx[:, :-1, 1:-1]) / dx
+    By = 0.5 * (B[:, :, 1:] + B[:, :, :-1])
+    fy = By * (phi[:, :, 1:] - phi[:, :, :-1]) / dy
+    div_y = (fy[:, 1:-1, 1:] - fy[:, 1:-1, :-1]) / dy
+    return div_x + div_y
+
+
+class _DiffusionRHS(PatchRHSPort):
+    def __init__(self, owner: "DiffusionPhysics") -> None:
+        self.owner = owner
+        self.nfe = 0
+
+    def evaluate(self, t: float, patch, ghosted: np.ndarray) -> np.ndarray:
+        self.nfe += 1
+        return self.owner.evaluate(patch, ghosted)
+
+
+class DiffusionPhysics(Component):
+    """Diffusive RHS of the reaction-diffusion system (see module doc)."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.register_uses_port("transport", "TransportPort")
+        services.register_uses_port("chem", "ChemistryPort")
+        services.register_uses_port("mesh", "MeshPort")
+        services.add_provides_port(_DiffusionRHS(self), "rhs")
+
+    def evaluate(self, patch, ghosted: np.ndarray) -> np.ndarray:
+        chem = self.services.get_port("chem")
+        transport = self.services.get_port("transport")
+        mech = chem.mechanism()
+        if ghosted.shape[0] != mech.n_species + 1:
+            raise CCAError(
+                f"DiffusionPhysics expects T + {mech.n_species} species, "
+                f"got {ghosted.shape[0]} variables")
+        dx, dy = self._spacing(patch)
+        g = patch.nghost
+        pad = g - 1
+        core = ghosted if pad == 0 else ghosted[:, pad:-pad, pad:-pad]
+        T = np.maximum(core[0], 50.0)
+        Y = np.clip(core[1:], 0.0, None)
+        P = chem.pressure()
+        rho = mech.density(T, P, Y)
+        lam = transport.conductivity(T)
+        D = transport.diffusion_coefficients(T, P)
+        B = np.concatenate([lam[None], rho[None] * D])
+        div = _div_flux(core, B, dx, dy)
+        rho_in = rho[1:-1, 1:-1]
+        cp_in = mech.cp_mass(T[1:-1, 1:-1], Y[:, 1:-1, 1:-1])
+        out = np.empty_like(div)
+        out[0] = div[0] / (rho_in * cp_in)
+        out[1:] = div[1:] / rho_in
+        return out
+
+    def _spacing(self, patch) -> tuple[float, float]:
+        hierarchy = self.services.get_port("mesh").hierarchy()
+        dx, dy = hierarchy.dx(patch.level)
+        return float(dx), float(dy)

@@ -1,0 +1,120 @@
+"""ExplicitIntegrator: RKC time advance over the patch hierarchy.
+
+"The Explicit Integration subsystem consists of ... a Runge-Kutta-
+Chebyshev integrator (ExplicitIntegrator), a component to calculate the
+diffusion fluxes (DiffusionPhysics) ..."  (paper §4.2)
+
+The integrator packs all owned-patch interiors into one state vector,
+runs one RKC macro step (stage count from the connected
+SpectralBoundPort, reduced globally so every rank takes the same number of
+stages), exchanging ghosts before every stage RHS evaluation, and finally
+restricts fine levels onto coarse ones.
+
+Provides ``integrator`` (IntegratorPort); uses ``rhs`` (PatchRHSPort),
+``bound`` (SpectralBoundPort), ``mesh``, ``data``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.integrator import IntegratorPort
+from repro.errors import CCAError
+from repro.integrators.rkc import rkc_step, stages_for
+from repro.samr.dataobject import DataObject
+from repro.samr.ghost import restrict_level
+
+
+def pack_interiors(dobj: DataObject) -> np.ndarray:
+    """Flatten owned-patch interiors into one vector (stable patch order)."""
+    parts = [dobj.interior(p).ravel() for p in dobj.owned_patches()]
+    if not parts:
+        return np.zeros(0)
+    return np.concatenate(parts)
+
+def unpack_interiors(dobj: DataObject, y: np.ndarray) -> None:
+    """Scatter a packed vector back into owned-patch interiors."""
+    off = 0
+    for p in dobj.owned_patches():
+        view = dobj.interior(p)
+        n = view.size
+        view[...] = y[off:off + n].reshape(view.shape)
+        off += n
+    if off != y.size:
+        raise CCAError(
+            f"state vector length {y.size} != owned interior size {off}")
+
+
+class _RKCIntegrator(IntegratorPort):
+    def __init__(self, owner: "ExplicitIntegrator") -> None:
+        self.owner = owner
+        self.nfe = 0
+        self.nsteps = 0
+        self.last_stages = 0
+
+    def advance(self, dataobjs: Sequence[DataObject], t: float,
+                dt: float) -> float:
+        if len(dataobjs) != 1:
+            raise CCAError("RKC integrator advances exactly one DataObject")
+        return self.owner.advance(dataobjs[0], t, dt, self)
+
+    def stable_dt(self, dataobjs: Sequence[DataObject], t: float) -> float:
+        """Step keeping the stage count at the configured budget."""
+        bound = self.owner.global_bound(t)
+        s_max = int(self.owner.services.get_parameter("max_stages", 20))
+        if bound <= 0.0:
+            raise CCAError("non-positive spectral bound")
+        return 0.653 * s_max**2 / bound
+
+
+class ExplicitIntegrator(Component):
+    """RKC driver over the hierarchy (see module docstring)."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        self.port = _RKCIntegrator(self)
+        services.register_uses_port("rhs", "PatchRHSPort")
+        services.register_uses_port("bound", "SpectralBoundPort")
+        services.register_uses_port("mesh", "MeshPort")
+        services.register_uses_port("data", "DataObjectPort")
+        services.add_provides_port(self.port, "integrator")
+
+    def global_bound(self, t: float) -> float:
+        """Spectral bound (the provider already reduces over the cohort)."""
+        return float(self.services.get_port("bound").spectral_bound(t))
+
+    def advance(self, dobj: DataObject, t: float, dt: float,
+                port: _RKCIntegrator) -> float:
+        rho = self.global_bound(t)
+        s = stages_for(dt, rho)
+        port.last_stages = s
+        port.nsteps += 1
+        rhs_port = self.services.get_port("rhs")
+        data_port = self.services.get_port("data")
+        h = dobj.hierarchy
+
+        def rhs_vec(tt: float, y: np.ndarray) -> np.ndarray:
+            port.nfe += 1
+            unpack_interiors(dobj, y)
+            for lev in range(h.nlevels):
+                data_port.exchange_ghosts(dobj.name, lev)
+            out_parts = []
+            for patch in dobj.owned_patches():
+                ghosted = dobj.array(patch)
+                out_parts.append(
+                    rhs_port.evaluate(tt, patch, ghosted).ravel())
+            return (np.concatenate(out_parts) if out_parts
+                    else np.zeros(0))
+
+        y0 = pack_interiors(dobj)
+        y1 = rkc_step(rhs_vec, t, y0, dt, rho, stages=s)
+        unpack_interiors(dobj, y1)
+        comm = self.services.get_comm()
+        for lev in range(h.nlevels - 1, 0, -1):
+            restrict_level(dobj, lev, comm=comm)
+            data_port.exchange_ghosts(dobj.name, lev)
+        data_port.exchange_ghosts(dobj.name, 0)
+        return t + dt

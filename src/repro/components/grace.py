@@ -1,0 +1,170 @@
+"""GrACEComponent: the componentized SAMR data manager.
+
+"Currently we have wrapped GrACE into a C++ component to perform the Data
+Object and the Mesh tasks" (paper §4); here the wrapped library is
+:mod:`repro.samr`.  One component instance provides the MeshPort, the
+DataObjectPort and a default (zero-gradient) BoundaryConditionPort, and
+optionally *uses* a physics-specific BoundaryConditionPort that overrides
+the default during ghost exchange.
+
+Parameters (rc ``parameter`` directive):
+
+========================  ===========================================
+``nx``, ``ny``            coarse mesh cells (default 32 x 32)
+``x_extent``/``y_extent`` physical size (default 1.0)
+``max_levels``            hierarchy depth (default 1)
+``ratio``                 refinement factor (default 2)
+``nghost``                ghost width (default 2)
+``balancer``              ``greedy`` | ``sfc`` (default ``greedy``)
+========================  ===========================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.bc import BoundaryConditionPort
+from repro.cca.ports.dataobject import DataObjectPort
+from repro.cca.ports.mesh import MeshPort
+from repro.errors import CCAError, PortNotConnectedError
+from repro.samr.dataobject import DataObject
+from repro.samr.ghost import exchange_ghosts, restrict_level, zero_gradient_bc
+from repro.samr.hierarchy import Hierarchy
+from repro.samr.loadbalance import balance_greedy, balance_sfc
+
+
+class _Mesh(MeshPort):
+    def __init__(self, owner: "GrACEComponent") -> None:
+        self.owner = owner
+
+    def hierarchy(self) -> Hierarchy:
+        return self.owner.require_hierarchy()
+
+    def build_base_level(self) -> None:
+        self.owner.build()
+
+    def regrid(self) -> None:
+        raise CCAError(
+            "regridding is driven by the ErrorEstAndRegrid component; "
+            "connect and call its RegridPort")
+
+    def owned_patches(self, level: int | None = None):
+        h = self.owner.require_hierarchy()
+        rank = self.rank()
+        levels = h.levels if level is None else [h.level(level)]
+        return [p for lvl in levels for p in lvl.patches if p.owner == rank]
+
+    def rank(self) -> int:
+        comm = self.owner.comm
+        return 0 if comm is None else comm.rank
+
+    def nranks(self) -> int:
+        comm = self.owner.comm
+        return 1 if comm is None else comm.size
+
+
+class _Data(DataObjectPort):
+    def __init__(self, owner: "GrACEComponent") -> None:
+        self.owner = owner
+
+    def declare(self, name, nvar, var_names=None) -> DataObject:
+        return self.owner.declare(name, nvar, var_names)
+
+    def data(self, name) -> DataObject:
+        return self.owner.data(name)
+
+    def names(self) -> list[str]:
+        return sorted(self.owner._data)
+
+    def array(self, name, patch) -> np.ndarray:
+        return self.owner.data(name).array(patch)
+
+    def exchange_ghosts(self, name, level) -> None:
+        self.owner.exchange(name, level)
+
+    def restrict(self, name, fine_level) -> None:
+        restrict_level(self.owner.data(name), fine_level,
+                       comm=self.owner.comm)
+
+
+class _DefaultBC(BoundaryConditionPort):
+    def apply(self, patch, ghosted, axis, side) -> None:
+        zero_gradient_bc(patch, ghosted, axis, side)
+
+
+class GrACEComponent(Component):
+    """Mesh + Data Object provider (see module docstring)."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        self.comm = services.get_comm()
+        self._hierarchy: Hierarchy | None = None
+        self._data: dict[str, DataObject] = {}
+        services.add_provides_port(_Mesh(self), "mesh")
+        services.add_provides_port(_Data(self), "data")
+        services.add_provides_port(_DefaultBC(), "default_bc")
+        services.register_uses_port("bc", "BoundaryConditionPort")
+        # optional pluggable load balancer (paper future-work item 1)
+        services.register_uses_port("balancer", "LoadBalancerPort")
+
+    # -- construction ---------------------------------------------------------
+    def build(self) -> Hierarchy:
+        if self._hierarchy is not None:
+            raise CCAError("mesh already built")
+        p = self.services.parameters
+        try:
+            balancer_port = self.services.get_port("balancer")
+            balancer = balancer_port.assign
+        except PortNotConnectedError:
+            balancer = {"greedy": balance_greedy, "sfc": balance_sfc}[
+                p.get_str("balancer", "greedy")]
+        self._hierarchy = Hierarchy(
+            base_shape=(p.get_int("nx", 32), p.get_int("ny", 32)),
+            origin=(p.get_float("x_origin", 0.0), p.get_float("y_origin", 0.0)),
+            extent=(p.get_float("x_extent", 1.0), p.get_float("y_extent", 1.0)),
+            ratio=p.get_int("ratio", 2),
+            max_levels=p.get_int("max_levels", 1),
+            nghost=p.get_int("nghost", 2),
+            nranks=1 if self.comm is None else self.comm.size,
+            balancer=balancer,
+        )
+        self._hierarchy.build_base_level()
+        return self._hierarchy
+
+    def require_hierarchy(self) -> Hierarchy:
+        if self._hierarchy is None:
+            raise CCAError("mesh not built yet (call MeshPort."
+                           "build_base_level first)")
+        return self._hierarchy
+
+    # -- data objects ------------------------------------------------------------
+    def declare(self, name: str, nvar: int,
+                var_names: list[str] | None = None) -> DataObject:
+        if name in self._data:
+            raise CCAError(f"DataObject {name!r} already declared")
+        rank = 0 if self.comm is None else self.comm.rank
+        dobj = DataObject(name, self.require_hierarchy(), nvar, rank,
+                          var_names)
+        self._data[name] = dobj
+        return dobj
+
+    def data(self, name: str) -> DataObject:
+        try:
+            return self._data[name]
+        except KeyError:
+            raise CCAError(
+                f"no DataObject {name!r} (declared: {sorted(self._data)})"
+            ) from None
+
+    def dataobjects(self) -> list[DataObject]:
+        return list(self._data.values())
+
+    def exchange(self, name: str, level: int) -> None:
+        """Ghost fill using the connected physics BC, else zero-gradient."""
+        try:
+            bc_port = self.services.get_port("bc")
+            bc = bc_port.apply
+        except PortNotConnectedError:
+            bc = zero_gradient_bc
+        exchange_ghosts(self.data(name), level, comm=self.comm, bc=bc)

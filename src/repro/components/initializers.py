@@ -1,0 +1,174 @@
+"""Initial-condition components for the three applications.
+
+* :class:`Initializer` — 0D ignition: "a vector of double precision
+  numbers specifying the stoichiometric mass fractions for the species,
+  the initial temperature (1000 K), and the initial pressure (1 atm)".
+* :class:`InitialCondition` — 2D reaction-diffusion: "initializes a
+  configuration with three hot-spots" in a stoichiometric H2-air mixture.
+* :class:`ConicalInterfaceIC` — shock-interface: "a shock tube with Air
+  and Freon (density ratio 3) separated by an oblique (30 deg from the
+  vertical) interface which is ruptured by a Mach 1.5 shock".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.ic import InitialConditionPort, VectorICPort
+from repro.chemistry.h2_air import stoichiometric_h2_air
+from repro.errors import CCAError
+from repro.hydro.state import prim_to_cons
+from repro.samr.dataobject import DataObject
+
+
+# --------------------------------------------------------------- 0D ignition
+class _VectorIC(VectorICPort):
+    def __init__(self, owner: "Initializer") -> None:
+        self.owner = owner
+
+    def initial_state(self) -> np.ndarray:
+        owner = self.owner
+        mech = owner.services.get_port("chem").mechanism()
+        T0 = float(owner.services.get_parameter("T0", 1000.0))
+        P0 = float(owner.services.get_parameter("P0", 101325.0))
+        Y = np.zeros(mech.n_species)
+        for nm, val in stoichiometric_h2_air().items():
+            if nm in mech.names:
+                Y[mech.species_index(nm)] = val
+        Y /= Y.sum()
+        return np.concatenate(([T0], Y, [P0]))
+
+
+class Initializer(Component):
+    """0D initial condition: Φ0 = [T0, Y_stoich, P0]."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.register_uses_port("chem", "ChemistryPort")
+        services.add_provides_port(_VectorIC(self), "ic")
+
+
+# --------------------------------------------------------- 2D hot-spot flame
+class _HotspotIC(InitialConditionPort):
+    def __init__(self, owner: "InitialCondition") -> None:
+        self.owner = owner
+
+    def initialize(self, dobj: DataObject) -> None:
+        owner = self.owner
+        p = owner.services.parameters
+        mech = owner.services.get_port("chem").mechanism()
+        if dobj.nvar != mech.n_species + 1:
+            raise CCAError(
+                f"flame DataObject needs T + {mech.n_species} species, "
+                f"got nvar={dobj.nvar}")
+        T_cold = p.get_float("T_cold", 300.0)
+        T_hot = p.get_float("T_hot", 1400.0)
+        radius = p.get_float("spot_radius", 0.06)
+        spots = owner.hotspots()
+        Y = np.zeros(mech.n_species)
+        for nm, val in stoichiometric_h2_air().items():
+            if nm in mech.names:
+                Y[mech.species_index(nm)] = val
+        Y /= Y.sum()
+        h = dobj.hierarchy
+        for patch in dobj.owned_patches():
+            lvl = h.level(patch.level)
+            x, y = lvl.cell_centers(patch, h.origin, ghost=True)
+            X, Yc = np.meshgrid(x, y, indexing="ij")
+            T = np.full_like(X, T_cold)
+            for (cx, cy) in spots:
+                r2 = (X - cx) ** 2 + (Yc - cy) ** 2
+                T = np.maximum(
+                    T, T_cold + (T_hot - T_cold) * np.exp(-r2 / radius**2))
+            arr = dobj.array(patch)
+            arr[0] = T
+            for k in range(mech.n_species):
+                arr[1 + k] = Y[k]
+
+
+class InitialCondition(Component):
+    """Three-hot-spot flame IC (paper §4.2, Fig. 3 leftmost frame).
+
+    Parameters: ``T_cold``, ``T_hot``, ``spot_radius`` and
+    ``spot<k>_x`` / ``spot<k>_y`` (k = 1..3; defaults give three spots in
+    a unit-normalized domain at (0.3, 0.3), (0.7, 0.4), (0.4, 0.75)).
+    """
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.register_uses_port("chem", "ChemistryPort")
+        services.add_provides_port(_HotspotIC(self), "ic")
+
+    def hotspots(self) -> list[tuple[float, float]]:
+        p = self.services.parameters
+        scale_x = p.get_float("x_extent", 1.0)
+        scale_y = p.get_float("y_extent", 1.0)
+        defaults = [(0.3, 0.3), (0.7, 0.4), (0.4, 0.75)]
+        spots = []
+        for k in range(1, 4):
+            x = p.get_float(f"spot{k}_x", defaults[k - 1][0] * scale_x)
+            y = p.get_float(f"spot{k}_y", defaults[k - 1][1] * scale_y)
+            spots.append((x, y))
+        return spots
+
+
+# ------------------------------------------------------- shock-interface IC
+class _ConicalIC(InitialConditionPort):
+    def __init__(self, owner: "ConicalInterfaceIC") -> None:
+        self.owner = owner
+
+    def initialize(self, dobj: DataObject) -> None:
+        owner = self.owner
+        p = owner.services.parameters
+        gamma = float(owner.services.get_port("gas").get("gamma", 1.4))
+        mach = p.get_float("mach", 1.5)
+        ratio = p.get_float("density_ratio", 3.0)
+        angle = np.deg2rad(p.get_float("angle_deg", 30.0))
+        x_shock = p.get_float("shock_x", 0.2)
+        x_interface = p.get_float("interface_x", 0.4)
+
+        # quiescent "air" ahead of the shock
+        rho1, p1 = 1.0, 1.0
+        a1 = np.sqrt(gamma * p1 / rho1)
+        # Rankine-Hugoniot post-shock state for a Mach `mach` shock
+        m2 = mach * mach
+        rho2 = rho1 * (gamma + 1.0) * m2 / ((gamma - 1.0) * m2 + 2.0)
+        p2 = p1 * (2.0 * gamma * m2 - (gamma - 1.0)) / (gamma + 1.0)
+        u2 = mach * a1 * (2.0 * (m2 - 1.0)) / ((gamma + 1.0) * m2)
+        owner.post_shock = (rho2, u2, 0.0, p2, 0.0)
+
+        h = dobj.hierarchy
+        tan_a = np.tan(angle)
+        for patch in dobj.owned_patches():
+            lvl = h.level(patch.level)
+            x, y = lvl.cell_centers(patch, h.origin, ghost=True)
+            X, Y = np.meshgrid(x, y, indexing="ij")
+            # oblique interface: x = x_interface + y*tan(angle)
+            behind_interface = X >= (x_interface + Y * tan_a)
+            rho = np.where(behind_interface, ratio * rho1, rho1)
+            zeta = np.where(behind_interface, 1.0, 0.0)
+            pr = np.full_like(X, p1)
+            u = np.zeros_like(X)
+            # post-shock region (shock left of the interface, moving right)
+            post = X <= x_shock
+            rho = np.where(post, rho2, rho)
+            pr = np.where(post, p2, pr)
+            u = np.where(post, u2, u)
+            dobj.array(patch)[...] = prim_to_cons(
+                rho, u, 0.0, pr, zeta, gamma)
+
+
+class ConicalInterfaceIC(Component):
+    """Shock tube + oblique density interface (paper §4.3, Table 3).
+
+    Parameters: ``mach`` (1.5), ``density_ratio`` (3), ``angle_deg`` (30),
+    ``shock_x``, ``interface_x``.  After ``initialize`` the post-shock
+    state is available as ``post_shock`` (used for inflow BCs).
+    """
+
+    def set_services(self, services) -> None:
+        self.services = services
+        self.post_shock: tuple | None = None
+        services.register_uses_port("gas", "ParameterPort")
+        services.add_provides_port(_ConicalIC(self), "ic")

@@ -1,0 +1,74 @@
+"""InviscidFlux and States: the Euler RHS assembly.
+
+"A Runge-Kutta time integrator (ExplicitIntegratorRK2) with an
+InviscidFlux component supplies the right-hand-side of the equation,
+patch-by-patch.  InviscidFlux component uses a States component to set up
+the Riemann problem at each cell interface which is then passed to the
+GodunovFlux component for the Riemann solution."  (paper §4.3)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.flux import StatesPort
+from repro.cca.ports.rhs import PatchRHSPort
+from repro.hydro.fluxes import euler_rhs
+from repro.hydro.reconstruction import muscl_interface_states
+
+
+class _States(StatesPort):
+    def __init__(self, owner: "States") -> None:
+        self.owner = owner
+        self.ncalls = 0
+
+    def interface_states(self, prim: np.ndarray, axis: int):
+        self.ncalls += 1
+        limiter = self.owner.services.get_parameter("limiter", "van_leer")
+        return muscl_interface_states(prim, axis=axis, limiter=limiter)
+
+
+class States(Component):
+    """MUSCL interface-state construction (parameter ``limiter``)."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.add_provides_port(_States(self), "states")
+
+
+class _InviscidRHS(PatchRHSPort):
+    def __init__(self, owner: "InviscidFlux") -> None:
+        self.owner = owner
+        self.nfe = 0
+
+    def evaluate(self, t: float, patch, ghosted: np.ndarray) -> np.ndarray:
+        self.nfe += 1
+        owner = self.owner
+        gamma = float(owner.services.get_port("gas").get("gamma", 1.4))
+        flux_port = owner.services.get_port("flux")
+        states_port = owner.services.get_port("states")
+        hierarchy = owner.services.get_port("mesh").hierarchy()
+        dx, dy = hierarchy.dx(patch.level)
+        return euler_rhs(
+            ghosted, dx, dy, gamma,
+            flux_fn=flux_port.flux,
+            nghost=patch.nghost,
+            reconstruct_fn=states_port.interface_states,
+        )
+
+
+class InviscidFlux(Component):
+    """Adaptor: ghosted patch -> conservative flux divergence.
+
+    Uses ``states`` (StatesPort), ``flux`` (FluxPort), ``gas``
+    (ParameterPort), ``mesh`` (MeshPort); provides ``rhs`` (PatchRHSPort).
+    """
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.register_uses_port("states", "StatesPort")
+        services.register_uses_port("flux", "FluxPort")
+        services.register_uses_port("gas", "ParameterPort")
+        services.register_uses_port("mesh", "MeshPort")
+        services.add_provides_port(_InviscidRHS(self), "rhs")

@@ -1,0 +1,108 @@
+"""ProblemModeler and DPDt: the 0D rigid-vessel closure.
+
+"Between CvodeComponent and ThermoChemistry is the problemModeler
+component which acts as an Adaptor, i.e. for this closed system it adds
+the pressure term to the heat equation.  The pressure term depends on the
+boundary conditions of the problem (rigid walls, i.e. constant mass and
+volume) and is computed by the dPdt component."  (paper §4.1)
+
+State layout: ``Φ = [T, Y_0..Y_{ns-1}, P]`` — the paper's Φ.
+``ProblemModeler`` provides the VectorRHSPort that ``CvodeComponent``
+integrates; it uses ``ThermoChemistry`` for the chemistry and ``DPDt`` for
+the pressure equation, converting the constant-pressure source terms to
+the constant-volume form (cv instead of cp, internal energy instead of
+enthalpy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.physics import DPDtPort
+from repro.cca.ports.rhs import VectorRHSPort
+from repro.chemistry.nasa7 import R_UNIVERSAL
+from repro.errors import CCAError
+
+
+class _DPDtImpl(DPDtPort):
+    def __init__(self, owner: "DPDt") -> None:
+        self.owner = owner
+
+    def dpdt(self, rho: float, T: float, Y: np.ndarray, dT: float,
+             dY: np.ndarray) -> float:
+        """dP/dt = ρ R (Ṫ/W̄ + T d(1/W̄)/dt) for fixed ρ (rigid walls)."""
+        mech = self.owner.services.get_port("chem").mechanism()
+        inv_W = float(np.dot(Y, 1.0 / mech.weights))
+        dinv_W = float(np.dot(dY, 1.0 / mech.weights))
+        return rho * R_UNIVERSAL * (dT * inv_W + T * dinv_W)
+
+
+class DPDt(Component):
+    """Pressure-evolution closure for constant mass and volume."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.register_uses_port("chem", "ChemistryPort")
+        services.add_provides_port(_DPDtImpl(self), "dpdt")
+
+
+class _ModelRHS(VectorRHSPort):
+    """Constant-volume RHS assembled from the chemistry + dPdt ports.
+
+    Carries one extra, narrower-interface method (``configure``) that
+    fixes the vessel density from the initial fill — drivers call it once
+    before handing the port to the stiff solver.
+    """
+
+    def __init__(self, owner: "ProblemModeler") -> None:
+        self.owner = owner
+        self.nfe = 0
+
+    def configure(self, T0: float, P0: float, Y0: np.ndarray) -> float:
+        return self.owner.set_initial_density(T0, P0, Y0)
+
+    def n_state(self) -> int:
+        mech = self.owner.services.get_port("chem").mechanism()
+        return mech.n_species + 2
+
+    def rhs(self, t: float, y: np.ndarray) -> np.ndarray:
+        self.nfe += 1
+        owner = self.owner
+        chem = owner.services.get_port("chem")
+        mech = chem.mechanism()
+        T = max(float(y[0]), 50.0)
+        Y = np.clip(y[1:-1], 0.0, None)
+        rho = owner.rho
+        if rho is None:
+            raise CCAError("ProblemModeler: call set_initial_density first")
+        C = mech.concentrations(rho, Y)
+        wdot = mech.wdot(T, C)
+        dY = wdot * mech.weights / rho
+        # constant-volume heat equation: cv and internal energies
+        u = mech.u_mass_species(np.asarray(T, dtype=float))
+        cv = mech.cv_mass(T, Y)
+        dT = -float(np.dot(u, wdot * mech.weights)) / (rho * cv)
+        dP = owner.services.get_port("dpdt").dpdt(rho, T, Y, dT, dY)
+        return np.concatenate(([dT], dY, [dP]))
+
+
+class ProblemModeler(Component):
+    """Adaptor assembling the rigid-vessel Φ-equation (see module doc)."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        self.rho: float | None = None
+        self.model_rhs = _ModelRHS(self)
+        services.register_uses_port("chem", "ChemistryPort")
+        services.register_uses_port("dpdt", "DPDtPort")
+        services.add_provides_port(self.model_rhs, "model")
+
+    def set_initial_density(self, T0: float, P0: float,
+                            Y0: np.ndarray) -> float:
+        """Fix ρ from the initial fill and share it with DPDt (via the
+        connected component's own set_density — kept explicit here since
+        density is physics state, not wiring)."""
+        mech = self.services.get_port("chem").mechanism()
+        self.rho = float(mech.density(T0, P0, Y0))
+        return self.rho

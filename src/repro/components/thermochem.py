@@ -1,0 +1,144 @@
+"""ThermoChemistry: chemical source terms + gas-property database.
+
+"The ThermoChemistry component embodies the chemical interactions; it
+provides the source terms for temperature and species due to chemistry ...
+ThermoChemistry also serves as a Database subsystem, i.e. it holds the gas
+properties."  (paper §4.1)
+
+Provides
+--------
+``source``      VectorRHSPort — constant-pressure [T, Y...] source terms.
+``chemistry``   ChemistryPort — the mechanism object + vectorized sources.
+``properties``  ParameterPort — gas-property database (weights, name...).
+
+Parameters: ``mechanism`` (``h2-air`` | ``h2-lite``), ``pressure`` [Pa].
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.cca.component import Component
+from repro.cca.ports.parameter import ParameterPort
+from repro.cca.ports.physics import ChemistryPort
+from repro.cca.ports.rhs import VectorRHSPort
+from repro.chemistry.h2_air import h2_air_mechanism
+from repro.chemistry.h2_lite import h2_lite_mechanism
+from repro.chemistry.mechanism import Mechanism
+from repro.errors import CCAError
+
+_MECHS = {
+    "h2-air": h2_air_mechanism,
+    "h2-lite": h2_lite_mechanism,
+}
+
+
+class _Source(VectorRHSPort):
+    """Constant-pressure reactor RHS over y = [T, Y_0..Y_{ns-1}]."""
+
+    def __init__(self, owner: "ThermoChemistry") -> None:
+        self.owner = owner
+        self.nfe = 0
+
+    def rhs(self, t: float, y: np.ndarray) -> np.ndarray:
+        self.nfe += 1
+        mech = self.owner.mech
+        T = max(float(y[0]), 50.0)
+        Y = np.clip(y[1:], 0.0, None)
+        dT, dY = self.owner.source_terms(np.array(T), Y)
+        return np.concatenate(([float(dT)], dY))
+
+    def n_state(self) -> int:
+        return self.owner.mech.n_species + 1
+
+
+class _Chem(ChemistryPort):
+    def __init__(self, owner: "ThermoChemistry") -> None:
+        self.owner = owner
+
+    def mechanism(self) -> Mechanism:
+        return self.owner.mech
+
+    def pressure(self) -> float:
+        return self.owner.pressure
+
+    def source_terms(self, T, Y):
+        return self.owner.source_terms(T, Y)
+
+
+class _Properties(ParameterPort):
+    def __init__(self, owner: "ThermoChemistry") -> None:
+        self.owner = owner
+
+    def get(self, key: str, default: Any = None) -> Any:
+        mech = self.owner.mech
+        builtin = {
+            "mechanism": mech.name,
+            "n_species": mech.n_species,
+            "n_reactions": mech.n_reactions,
+            "species_names": mech.names,
+            "pressure": self.owner.pressure,
+        }
+        if key in builtin:
+            return builtin[key]
+        if key.startswith("weight:"):
+            return float(mech.weights[mech.species_index(key[7:])])
+        return self.owner.extra.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        self.owner.extra[key] = value
+
+    def keys(self) -> list[str]:
+        return sorted(
+            ["mechanism", "n_species", "n_reactions", "species_names",
+             "pressure"] + list(self.owner.extra))
+
+
+class ThermoChemistry(Component):
+    """Chemistry source terms + gas-property database (see module doc)."""
+
+    def set_services(self, services) -> None:
+        self.services = services
+        self.extra: dict[str, Any] = {}
+        self._mech: Mechanism | None = None
+        services.add_provides_port(_Source(self), "source")
+        services.add_provides_port(_Chem(self), "chemistry")
+        services.add_provides_port(_Properties(self), "properties")
+
+    # -- lazy configuration ------------------------------------------------------
+    @property
+    def mech(self) -> Mechanism:
+        if self._mech is None:
+            name = self.services.get_parameter("mechanism", "h2-air")
+            try:
+                self._mech = _MECHS[name]()
+            except KeyError:
+                raise CCAError(
+                    f"unknown mechanism {name!r}; have {sorted(_MECHS)}"
+                ) from None
+        return self._mech
+
+    @property
+    def pressure(self) -> float:
+        return float(self.services.get_parameter("pressure", 101325.0))
+
+    def source_terms(self, T, Y):
+        """(dT/dt, dY/dt) at constant pressure, vectorized over cells.
+
+        ``T`` shape (...), ``Y`` shape (nsp, ...).
+        """
+        mech = self.mech
+        T = np.asarray(T, dtype=float)
+        Y = np.clip(np.asarray(Y, dtype=float), 0.0, None)
+        rho = mech.density(T, self.pressure, Y)
+        C = mech.concentrations(rho, Y)
+        wdot = mech.wdot(T, C)
+        shape = (-1,) + (1,) * T.ndim
+        dY = wdot * mech.weights.reshape(shape) / rho
+        h = mech.h_mass_species(T)
+        cp = mech.cp_mass(T, Y)
+        dT = -np.einsum("i...,i...->...", h,
+                        wdot * mech.weights.reshape(shape)) / (rho * cp)
+        return dT, dY

@@ -1,0 +1,58 @@
+"""Exception hierarchy shared across the repro toolkit.
+
+Every subsystem raises subclasses of :class:`ReproError` so applications can
+catch toolkit failures without masking genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all toolkit errors."""
+
+
+class CCAError(ReproError):
+    """Errors raised by the component framework (bad wiring, lifecycle)."""
+
+
+class PortNotConnectedError(CCAError):
+    """A component asked for a uses-port that has not been connected."""
+
+
+class PortTypeError(CCAError):
+    """A connection was attempted between incompatible port types."""
+
+
+class ComponentLifecycleError(CCAError):
+    """A component was used outside its legal lifecycle (e.g. before
+    ``setServices``)."""
+
+
+class ScriptError(CCAError):
+    """The rc-script parser met an unknown directive or bad arguments."""
+
+
+class MPIError(ReproError):
+    """Errors from the in-process MPI substrate."""
+
+
+class CommAbortedError(MPIError):
+    """The parallel world was aborted (by ``Comm.abort`` or a peer crash)."""
+
+
+class MeshError(ReproError):
+    """Errors from the SAMR substrate (bad boxes, nesting violations...)."""
+
+
+class IntegratorError(ReproError):
+    """Time integration failed (too many error-test or Newton failures)."""
+
+
+class ConvergenceError(IntegratorError):
+    """An iterative solve (Newton, Riemann star state) did not converge."""
+
+
+class ChemistryError(ReproError):
+    """Errors from the thermochemistry substrate (unknown species...)."""
+
+
+class HydroError(ReproError):
+    """Errors from the hydrodynamics kernels (negative density/pressure)."""

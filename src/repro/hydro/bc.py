@@ -1,0 +1,67 @@
+"""Physical boundary fills for ghosted Euler patches.
+
+"The shock tube has reflecting boundary conditions above and below and
+outflow on the right, which are set with the BoundaryConditions
+component."  (paper §4.3)  These functions are the kernels that component
+applies patch-by-patch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HydroError
+from repro.hydro.state import IMX, IMY
+
+
+def _face_slices(arr: np.ndarray, axis: int, side: int, g: int):
+    """(ghost slice, mirrored interior slice) along ``axis`` (0=x, 1=y)."""
+    ax = axis + 1  # leading variable axis
+    n = arr.shape[ax]
+    if side == 0:
+        ghost = slice(0, g)
+        mirror = slice(2 * g - 1, g - 1, -1)
+        edge = slice(g, g + 1)
+    else:
+        ghost = slice(n - g, n)
+        mirror = slice(n - g - 1, n - 2 * g - 1, -1)
+        edge = slice(n - g - 1, n - g)
+    return ax, ghost, mirror, edge
+
+
+def fill_outflow(arr: np.ndarray, axis: int, side: int, g: int) -> None:
+    """Zero-gradient (transmissive) fill: replicate the edge cell."""
+    ax, ghost, _, edge = _face_slices(arr, axis, side, g)
+    sl_g = [slice(None)] * arr.ndim
+    sl_e = [slice(None)] * arr.ndim
+    sl_g[ax] = ghost
+    sl_e[ax] = edge
+    arr[tuple(sl_g)] = arr[tuple(sl_e)]
+
+
+def fill_reflecting(arr: np.ndarray, axis: int, side: int, g: int) -> None:
+    """Solid-wall fill: mirror the interior, negate the normal momentum."""
+    ax, ghost, mirror, _ = _face_slices(arr, axis, side, g)
+    sl_g = [slice(None)] * arr.ndim
+    sl_m = [slice(None)] * arr.ndim
+    sl_g[ax] = ghost
+    sl_m[ax] = mirror
+    arr[tuple(sl_g)] = arr[tuple(sl_m)]
+    normal = IMX if axis == 0 else IMY
+    sl_n = list(sl_g)
+    sl_n[0] = normal
+    arr[tuple(sl_n)] = -arr[tuple(sl_n)]
+
+
+def fill_inflow(arr: np.ndarray, axis: int, side: int, g: int,
+                state: np.ndarray) -> None:
+    """Supersonic inflow: pin the ghost cells to a fixed conserved state."""
+    state = np.asarray(state, dtype=float)
+    if state.shape != (arr.shape[0],):
+        raise HydroError(
+            f"inflow state needs shape ({arr.shape[0]},), got {state.shape}")
+    ax, ghost, _, _ = _face_slices(arr, axis, side, g)
+    sl_g = [slice(None)] * arr.ndim
+    sl_g[ax] = ghost
+    view = arr[tuple(sl_g)]
+    view[...] = state.reshape((-1,) + (1,) * (arr.ndim - 1))

@@ -1,0 +1,26 @@
+"""Godunov interface flux: exact Riemann solution evaluated at x/t = 0.
+
+The ``GodunovFlux`` component of the paper's shock-interface assembly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydro.riemann_exact import sample_riemann
+
+
+def godunov_flux(prim_l: tuple[np.ndarray, ...],
+                 prim_r: tuple[np.ndarray, ...],
+                 gamma: float) -> np.ndarray:
+    """x-direction flux from left/right primitive tuples
+    ``(rho, u, v, p, zeta)``; returns shape ``(5, ...)``."""
+    rho, u, v, p, zeta = sample_riemann(*prim_l, *prim_r, gamma)
+    E = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v)
+    return np.stack([
+        rho * u,
+        rho * u * u + p,
+        rho * u * v,
+        (E + p) * u,
+        rho * zeta * u,
+    ])

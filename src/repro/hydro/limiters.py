@@ -1,0 +1,51 @@
+"""Slope limiters for MUSCL reconstruction.
+
+Each limiter maps forward/backward differences ``(a, b)`` to a limited
+slope; all are vectorized and symmetric (``phi(a, b) == phi(b, a)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The most diffusive TVD limiter: smallest-magnitude same-sign slope."""
+    same = (a * b) > 0.0
+    return np.where(same, np.sign(a) * np.minimum(np.abs(a), np.abs(b)), 0.0)
+
+
+def van_leer(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Harmonic-mean limiter: smooth, second-order away from extrema."""
+    ab = a * b
+    denom = a + b
+    safe = np.abs(denom) > 1e-300
+    return np.where((ab > 0.0) & safe,
+                    2.0 * ab / np.where(safe, denom, 1.0), 0.0)
+
+
+def mc_limiter(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Monotonized central: min(2|a|, 2|b|, |a+b|/2), sharper than minmod."""
+    same = (a * b) > 0.0
+    s = np.sign(a)
+    m = np.minimum(np.minimum(2.0 * np.abs(a), 2.0 * np.abs(b)),
+                   0.5 * np.abs(a + b))
+    return np.where(same, s * m, 0.0)
+
+
+def superbee(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The most compressive TVD limiter."""
+    same = (a * b) > 0.0
+    s = np.sign(a)
+    abs_a, abs_b = np.abs(a), np.abs(b)
+    m1 = np.minimum(2.0 * abs_a, abs_b)
+    m2 = np.minimum(abs_a, 2.0 * abs_b)
+    return np.where(same, s * np.maximum(m1, m2), 0.0)
+
+
+LIMITERS = {
+    "minmod": minmod,
+    "van_leer": van_leer,
+    "mc": mc_limiter,
+    "superbee": superbee,
+}

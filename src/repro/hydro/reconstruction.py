@@ -1,0 +1,53 @@
+"""MUSCL reconstruction: limited linear interface states.
+
+"The Godunov method involves constructing the states on the left and right
+of a cell interface using slope-limiters, upwinding and solving a Riemann
+problem.  The construction of left and right states holds true for most
+finite volume methods."  (paper §4.3) — this module is that construction,
+shared by the Godunov and EFM flux components (the ``States`` component).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import HydroError
+from repro.hydro.limiters import LIMITERS
+
+
+def muscl_interface_states(
+    q: np.ndarray,
+    axis: int = -1,
+    limiter: str | Callable = "van_leer",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Limited linear reconstruction along ``axis``.
+
+    ``q`` holds cell averages (any leading shape); with ``n`` cells along
+    the axis the function returns ``(qL, qR)`` at the ``n - 3`` interior
+    interfaces (the first and last cell on each side act as the stencil's
+    ghost cells):
+
+    ``qL[k] = q[k+1] + slope[k+1]/2`` and ``qR[k] = q[k+2] - slope[k+2]/2``
+    describe interface ``k + 3/2`` in cell units.
+    """
+    if callable(limiter):
+        phi = limiter
+    else:
+        try:
+            phi = LIMITERS[limiter]
+        except KeyError:
+            raise HydroError(
+                f"unknown limiter {limiter!r}; have {sorted(LIMITERS)}"
+            ) from None
+    q = np.asarray(q, dtype=float)
+    q = np.moveaxis(q, axis, -1)
+    if q.shape[-1] < 4:
+        raise HydroError(
+            f"need at least 4 cells along the axis, got {q.shape[-1]}")
+    fwd = q[..., 1:] - q[..., :-1]          # difference at i+1/2
+    slope = phi(fwd[..., :-1], fwd[..., 1:])  # limited slope in cell i+1
+    qL = q[..., 1:-2] + 0.5 * slope[..., :-1]
+    qR = q[..., 2:-1] - 0.5 * slope[..., 1:]
+    return np.moveaxis(qL, -1, axis), np.moveaxis(qR, -1, axis)

@@ -1,0 +1,93 @@
+"""Euler state vectors and the gamma-law equation of state.
+
+Conserved variables (paper Eq. 4): ``U = {ρ, ρu, ρv, ρe, ρζ}`` where ρe is
+the total energy density and ζ the interface-tracking function;
+``p = (γ-1)(ρe - ½ρ(u²+v²))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HydroError
+
+#: Conserved-variable indices.
+IRHO, IMX, IMY, IE, IZETA = 0, 1, 2, 3, 4
+NVARS = 5
+
+
+@dataclass(frozen=True)
+class EulerState:
+    """A pointwise primitive state (handy for ICs and tests)."""
+
+    rho: float
+    u: float
+    v: float
+    p: float
+    zeta: float = 0.0
+
+    def conserved(self, gamma: float) -> np.ndarray:
+        if self.rho <= 0.0 or self.p <= 0.0:
+            raise HydroError(
+                f"non-physical state rho={self.rho}, p={self.p}")
+        E = self.p / (gamma - 1.0) + 0.5 * self.rho * (self.u**2 + self.v**2)
+        return np.array([
+            self.rho,
+            self.rho * self.u,
+            self.rho * self.v,
+            E,
+            self.rho * self.zeta,
+        ])
+
+    def sound_speed(self, gamma: float) -> float:
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def cons_to_prim(U: np.ndarray, gamma: float,
+                 check: bool = True) -> tuple[np.ndarray, ...]:
+    """``U`` shape (5, ...) -> (rho, u, v, p, zeta) arrays."""
+    rho = U[IRHO]
+    if check and np.any(rho <= 0.0):
+        raise HydroError(f"negative density (min {rho.min():.3e})")
+    u = U[IMX] / rho
+    v = U[IMY] / rho
+    p = (gamma - 1.0) * (U[IE] - 0.5 * rho * (u * u + v * v))
+    if check and np.any(p <= 0.0):
+        raise HydroError(f"negative pressure (min {p.min():.3e})")
+    zeta = U[IZETA] / rho
+    return rho, u, v, p, zeta
+
+
+def prim_to_cons(rho, u, v, p, zeta, gamma: float) -> np.ndarray:
+    """Primitive arrays -> conserved array of shape (5, ...)."""
+    rho = np.asarray(rho, dtype=float)
+    E = (np.asarray(p) / (gamma - 1.0)
+         + 0.5 * rho * (np.asarray(u) ** 2 + np.asarray(v) ** 2))
+    return np.stack([rho, rho * u, rho * v, E, rho * zeta])
+
+
+def sound_speed(rho, p, gamma: float):
+    """a = sqrt(gamma p / rho)."""
+    return np.sqrt(gamma * np.asarray(p) / np.asarray(rho))
+
+
+def max_wavespeed(U: np.ndarray, gamma: float) -> float:
+    """max(|u| + a, |v| + a) over the field — CFL's characteristic speed
+    (the ``CharacteristicQuantities`` component's job)."""
+    rho, u, v, p, _ = cons_to_prim(U, gamma)
+    a = sound_speed(rho, p, gamma)
+    return float(np.maximum(np.abs(u) + a, np.abs(v) + a).max())
+
+
+def euler_flux_x(U: np.ndarray, gamma: float) -> np.ndarray:
+    """Exact x-direction flux F(U) (paper Eq. 4)."""
+    rho, u, v, p, zeta = cons_to_prim(U, gamma, check=False)
+    return np.stack([
+        rho * u,
+        rho * u * u + p,
+        rho * u * v,
+        (U[IE] + p) * u,
+        rho * zeta * u,
+    ])

@@ -1,0 +1,35 @@
+"""Time integrators.
+
+* :mod:`repro.integrators.cvode` — a from-scratch reimplementation of the
+  CVODE algorithm family (Cohen & Hindmarsh): variable-order variable-step
+  BDF(1-5) with modified Newton for stiff problems, Adams-Moulton
+  predictor-corrector for non-stiff ones.  Wrapped by the paper's
+  ``CvodeComponent``.
+* :mod:`repro.integrators.rkc` — the second-order Runge-Kutta-Chebyshev
+  stabilized explicit scheme (Sommeijer, Shampine & Verwer) driving the
+  diffusion operator of the reaction-diffusion application.
+* :mod:`repro.integrators.rk2` — SSP RK2 (Heun) for the hydrodynamics.
+* :mod:`repro.integrators.spectral` — spectral-radius estimation (power
+  iteration on a finite-difference Jacobian action) used for dynamic
+  time-step sizing, plus the Gershgorin diffusion bound.
+* :mod:`repro.integrators.controller` — step-size controllers.
+"""
+
+from repro.integrators.controller import IController, PIController
+from repro.integrators.cvode import CVode, CVodeStats
+from repro.integrators.rk2 import rk2_step, ssp_rk2
+from repro.integrators.rkc import RKC, rkc_step
+from repro.integrators.spectral import estimate_spectral_radius, gershgorin_diffusion
+
+__all__ = [
+    "IController",
+    "PIController",
+    "CVode",
+    "CVodeStats",
+    "rk2_step",
+    "ssp_rk2",
+    "RKC",
+    "rkc_step",
+    "estimate_spectral_radius",
+    "gershgorin_diffusion",
+]

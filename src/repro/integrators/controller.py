@@ -1,0 +1,61 @@
+"""Step-size controllers shared by the integrators.
+
+Both controllers act on the weighted-RMS error estimate ``err`` normalized
+so that ``err <= 1`` means the step passes the local error test.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegratorError
+
+
+class IController:
+    """Classic integral (deadbeat) controller: ``h *= err^(-1/(p+1))``."""
+
+    def __init__(self, order: int, safety: float = 0.9,
+                 min_factor: float = 0.2, max_factor: float = 5.0) -> None:
+        if order < 1:
+            raise IntegratorError("controller order must be >= 1")
+        self.order = order
+        self.safety = safety
+        self.min_factor = min_factor
+        self.max_factor = max_factor
+
+    def factor(self, err: float) -> float:
+        """Step-size multiplier given the normalized error."""
+        if err <= 0.0:
+            return self.max_factor
+        raw = self.safety * err ** (-1.0 / (self.order + 1))
+        return min(self.max_factor, max(self.min_factor, raw))
+
+    def accept(self, err: float) -> bool:
+        return err <= 1.0
+
+
+class PIController(IController):
+    """Proportional-integral controller (smoother step sequences).
+
+    ``h *= err_n^(-kI/(p+1)) * err_{n-1}^(kP/(p+1))`` with the usual
+    (0.7, 0.4) gains; falls back to the I-controller on the first step.
+    """
+
+    def __init__(self, order: int, safety: float = 0.9,
+                 min_factor: float = 0.2, max_factor: float = 5.0,
+                 ki: float = 0.7, kp: float = 0.4) -> None:
+        super().__init__(order, safety, min_factor, max_factor)
+        self.ki = ki
+        self.kp = kp
+        self._prev_err: float | None = None
+
+    def factor(self, err: float) -> float:
+        if err <= 0.0:
+            self._prev_err = err
+            return self.max_factor
+        expo = 1.0 / (self.order + 1)
+        if self._prev_err is None or self._prev_err <= 0.0:
+            raw = self.safety * err ** (-expo)
+        else:
+            raw = (self.safety * err ** (-self.ki * expo)
+                   * self._prev_err ** (self.kp * expo))
+        self._prev_err = err
+        return min(self.max_factor, max(self.min_factor, raw))

@@ -1,0 +1,31 @@
+"""Second-order strong-stability-preserving Runge-Kutta (Heun / SSP-RK2).
+
+The time integrator of the shock-interface application
+(``ExplicitIntegratorRK2``): TVD with CFL coefficient 1, the standard
+partner of MUSCL/Godunov spatial discretizations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+RHS = Callable[[float, np.ndarray], np.ndarray]
+
+
+def rk2_step(rhs: RHS, t: float, y: np.ndarray, dt: float) -> np.ndarray:
+    """One SSP-RK2 step: convex combination of two Euler stages."""
+    y1 = y + dt * rhs(t, y)
+    return 0.5 * y + 0.5 * (y1 + dt * rhs(t + dt, y1))
+
+
+def ssp_rk2(rhs: RHS, t0: float, y0: np.ndarray, t_end: float,
+            dt: float) -> np.ndarray:
+    """March from ``t0`` to ``t_end`` with fixed steps (last clipped)."""
+    t, y = t0, np.asarray(y0, dtype=float)
+    while t < t_end - 1e-15 * max(1.0, abs(t_end)):
+        step = min(dt, t_end - t)
+        y = rk2_step(rhs, t, y, step)
+        t += step
+    return y

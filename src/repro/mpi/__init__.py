@@ -1,0 +1,38 @@
+"""In-process SCMD/MPI substrate with a virtual-time machine model.
+
+The paper runs CCAFFEINE under ``mpirun``: P identical framework instances,
+one per processor, communicating through MPI-1.  This package reproduces
+that execution model inside a single Python process:
+
+* :func:`repro.mpi.launcher.mpirun` starts P rank-threads, each running the
+  same program (the SCMD multiplexer pattern).
+* :class:`repro.mpi.comm.Comm` implements the MPI-1 subset the applications
+  need — blocking/non-blocking point-to-point, the standard collectives,
+  and communicator splitting (used to scope *cohort* communicators).
+* Virtual time: every rank owns a clock advanced by (a) its own per-thread
+  CPU time for compute sections and (b) a latency/bandwidth
+  :class:`repro.mpi.perfmodel.MachineModel` for communication.  This lets a
+  single core emulate the 48-node CPlant runs of the paper's §5.2 while the
+  actual message traffic (ghost exchanges, reductions) is genuinely
+  exercised.
+"""
+
+from repro.mpi.perfmodel import MachineModel, CPLANT, BEOWULF, LOCALHOST, ZERO_COST
+from repro.mpi.comm import Comm, World, Op, Status, Request, ANY_SOURCE, ANY_TAG
+from repro.mpi.launcher import mpirun
+
+__all__ = [
+    "MachineModel",
+    "CPLANT",
+    "BEOWULF",
+    "LOCALHOST",
+    "ZERO_COST",
+    "Comm",
+    "World",
+    "Op",
+    "Status",
+    "Request",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "mpirun",
+]

@@ -1,0 +1,105 @@
+"""``mpirun`` — the SCMD job launcher.
+
+"A CCAFFEINE job is generally started using mpirun (or equivalent): P
+instances of the framework, run with the same script, cause P identically
+configured frameworks to load and exist on as many processors."  Here the
+"processors" are rank-threads inside one Python process; the program is any
+callable taking the rank's world communicator.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.errors import CommAbortedError, MPIError
+from repro.mpi.comm import Comm, World
+from repro.mpi.perfmodel import MachineModel, LOCALHOST
+from repro.util import logging as rlog
+
+
+class RankFailure(MPIError):
+    """One or more ranks raised; carries per-rank tracebacks."""
+
+    def __init__(self, failures: dict[int, BaseException]) -> None:
+        self.failures = failures
+        lines = []
+        for rank, exc in sorted(failures.items()):
+            tb = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+            lines.append(f"--- rank {rank} ---\n{tb}")
+        super().__init__(
+            f"{len(failures)} rank(s) failed:\n" + "\n".join(lines)
+        )
+
+
+def mpirun(
+    nprocs: int,
+    main: Callable[..., Any],
+    args: Sequence[Any] = (),
+    machine: MachineModel = LOCALHOST,
+    return_clocks: bool = False,
+) -> list[Any]:
+    """Run ``main(comm, *args)`` on ``nprocs`` rank-threads.
+
+    Returns the per-rank return values (rank order).  If any rank raises,
+    the world is aborted (unblocking its peers) and :class:`RankFailure`
+    is raised with every original traceback.
+
+    With ``return_clocks=True`` each entry becomes ``(value, virtual_time)``
+    where ``virtual_time`` is the rank's final clock — the number the
+    scaling benches report.
+    """
+    if nprocs < 1:
+        raise MPIError(f"nprocs must be >= 1, got {nprocs}")
+    world = World(nprocs, machine)
+    results: list[Any] = [None] * nprocs
+    clocks: list[float] = [0.0] * nprocs
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Comm(world, comm_id=0, rank=rank, size=nprocs, global_rank=rank)
+        rlog.set_rank(rank)
+        try:
+            comm.reset_clock()  # don't charge thread start-up
+            results[rank] = main(comm, *args)
+            clocks[rank] = comm.clock
+        except CommAbortedError as exc:
+            # Secondary failure: this rank was unblocked by a peer's abort.
+            with failures_lock:
+                failures.setdefault(rank, exc)
+        except BaseException as exc:  # noqa: BLE001 - report all rank crashes
+            with failures_lock:
+                failures[rank] = exc
+            world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        finally:
+            rlog.set_rank(None)
+
+    if nprocs == 1:
+        # Fast path: run inline (no thread) — keeps unit tests cheap and
+        # tracebacks direct.
+        runner(0)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(rank,), name=f"rank-{rank}")
+            for rank in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if failures:
+        # Report only primary failures when present; a world-abort cascade
+        # otherwise shows every waiting rank as failed.
+        primary = {
+            r: e for r, e in failures.items()
+            if not isinstance(e, CommAbortedError)
+        }
+        raise RankFailure(primary or failures)
+    if return_clocks:
+        return [(results[r], clocks[r]) for r in range(nprocs)]
+    return results

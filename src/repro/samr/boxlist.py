@@ -1,0 +1,119 @@
+"""Set algebra over lists of boxes.
+
+These operations back regridding (old-level / new-level overlap), ghost
+region construction (patch halo minus sibling interiors) and clustering
+post-processing.
+"""
+
+from __future__ import annotations
+
+from repro.samr.box import Box
+
+
+def subtract(box: Box, cut: Box) -> list[Box]:
+    """``box`` minus ``cut`` as a disjoint list of boxes.
+
+    Standard dimension-sweep decomposition: at most ``2*ndim`` pieces.
+    """
+    overlap = box.intersection(cut)
+    if overlap.empty:
+        return [box]
+    if overlap == box:
+        return []
+    pieces: list[Box] = []
+    lo = list(box.lo)
+    hi = list(box.hi)
+    for d in range(box.ndim):
+        if lo[d] < overlap.lo[d]:
+            piece_hi = hi.copy()
+            piece_hi[d] = overlap.lo[d] - 1
+            pieces.append(Box(tuple(lo), tuple(piece_hi)))
+            lo[d] = overlap.lo[d]
+        if overlap.hi[d] < hi[d]:
+            piece_lo = lo.copy()
+            piece_lo[d] = overlap.hi[d] + 1
+            pieces.append(Box(tuple(piece_lo), tuple(hi)))
+            hi[d] = overlap.hi[d]
+    return pieces
+
+
+def subtract_all(boxes: list[Box], cuts: list[Box]) -> list[Box]:
+    """Remove every box in ``cuts`` from every box in ``boxes``."""
+    remaining = list(boxes)
+    for cut in cuts:
+        next_remaining: list[Box] = []
+        for b in remaining:
+            next_remaining.extend(subtract(b, cut))
+        remaining = next_remaining
+    return [b for b in remaining if not b.empty]
+
+
+def intersect_all(boxes: list[Box], region: Box) -> list[Box]:
+    """Clip every box to ``region``, dropping empties."""
+    out = []
+    for b in boxes:
+        clipped = b.intersection(region)
+        if not clipped.empty:
+            out.append(clipped)
+    return out
+
+
+def coalesce(boxes: list[Box]) -> list[Box]:
+    """Merge axis-adjacent boxes of equal cross-section (greedy, repeated
+    until fixed point).  Reduces patch counts after clustering."""
+    merged = [b for b in boxes if not b.empty]
+    changed = True
+    while changed:
+        changed = False
+        out: list[Box] = []
+        used = [False] * len(merged)
+        for i, a in enumerate(merged):
+            if used[i]:
+                continue
+            current = a
+            for j in range(i + 1, len(merged)):
+                if used[j]:
+                    continue
+                joined = _try_join(current, merged[j])
+                if joined is not None:
+                    current = joined
+                    used[j] = True
+                    changed = True
+            used[i] = True
+            out.append(current)
+        merged = out
+    return merged
+
+
+def _try_join(a: Box, b: Box) -> Box | None:
+    """Join a and b if they abut along exactly one axis with identical
+    extents along every other axis."""
+    for d in range(a.ndim):
+        same_elsewhere = all(
+            a.lo[k] == b.lo[k] and a.hi[k] == b.hi[k]
+            for k in range(a.ndim)
+            if k != d
+        )
+        if not same_elsewhere:
+            continue
+        if a.hi[d] + 1 == b.lo[d]:
+            return Box(a.lo, tuple(
+                b.hi[k] if k == d else a.hi[k] for k in range(a.ndim)))
+        if b.hi[d] + 1 == a.lo[d]:
+            return Box(tuple(
+                b.lo[k] if k == d else a.lo[k] for k in range(a.ndim)), a.hi)
+    return None
+
+
+def total_cells(boxes: list[Box]) -> int:
+    """Sum of cell counts (assumes a disjoint list)."""
+    return sum(b.size for b in boxes)
+
+
+def is_disjoint(boxes: list[Box]) -> bool:
+    """True when no two boxes overlap."""
+    for i, a in enumerate(boxes):
+        for b in boxes[i + 1:]:
+            if a.intersects(b):
+                return False
+    return True

@@ -1,0 +1,147 @@
+"""Berger-Rigoutsos point clustering.
+
+Flagged cells are "collated into rectangles" (paper §3).  This is the
+classic signature-based algorithm: take the bounding box of the flags; if
+it is efficient enough and small enough, accept it; otherwise split at a
+hole or at the strongest inflection of the signature and recurse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.samr.box import Box
+
+
+def cluster_flags(
+    flags: np.ndarray,
+    origin: tuple[int, ...] = None,
+    min_efficiency: float = 0.7,
+    max_size: int = 64,
+    min_size: int = 4,
+) -> list[Box]:
+    """Cover the True cells of ``flags`` with boxes.
+
+    Parameters
+    ----------
+    flags:
+        Boolean array; index ``(0, ..., 0)`` corresponds to cell ``origin``.
+    origin:
+        Index-space coordinate of the array's first cell (default zeros).
+    min_efficiency:
+        Accept a box once ``flagged / box.size >= min_efficiency``.
+    max_size:
+        Maximum box edge length (keeps patches distributable).
+    min_size:
+        Do not split boxes below this edge length.
+
+    Returns a list of disjoint boxes jointly covering every flagged cell.
+    """
+    if flags.dtype != bool:
+        flags = flags.astype(bool)
+    if not (0.0 < min_efficiency <= 1.0):
+        raise MeshError(f"min_efficiency must be in (0, 1], got {min_efficiency}")
+    if min_size < 1 or max_size < min_size:
+        raise MeshError(f"bad size limits ({min_size}, {max_size})")
+    origin = origin or (0,) * flags.ndim
+    if not flags.any():
+        return []
+    boxes: list[Box] = []
+    _cluster(flags, origin, min_efficiency, max_size, min_size, boxes)
+    return boxes
+
+
+def _bounding(flags: np.ndarray) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    lo, hi = [], []
+    for axis in range(flags.ndim):
+        other = tuple(a for a in range(flags.ndim) if a != axis)
+        sig = flags.any(axis=other)
+        nz = np.nonzero(sig)[0]
+        lo.append(int(nz[0]))
+        hi.append(int(nz[-1]))
+    return tuple(lo), tuple(hi)
+
+
+def _cluster(flags, origin, min_eff, max_size, min_size, out: list[Box]) -> None:
+    if not flags.any():
+        return
+    lo, hi = _bounding(flags)
+    sub = flags[tuple(slice(l, h + 1) for l, h in zip(lo, hi))]
+    box = Box(
+        tuple(o + l for o, l in zip(origin, lo)),
+        tuple(o + h for o, h in zip(origin, hi)),
+    )
+    efficiency = sub.sum() / box.size
+    small = all(n <= max_size for n in box.shape)
+    if (efficiency >= min_eff and small) or all(
+            n <= min_size for n in box.shape):
+        out.append(box)
+        return
+    axis, cut = _choose_cut(sub, min_size, max_size)
+    if axis is None:
+        out.append(box)
+        return
+    sub_origin = tuple(o + l for o, l in zip(origin, lo))
+    left_idx = tuple(
+        slice(0, cut) if a == axis else slice(None) for a in range(sub.ndim))
+    right_idx = tuple(
+        slice(cut, None) if a == axis else slice(None) for a in range(sub.ndim))
+    right_origin = tuple(
+        so + cut if a == axis else so for a, so in enumerate(sub_origin))
+    _cluster(sub[left_idx], sub_origin, min_eff, max_size, min_size, out)
+    _cluster(sub[right_idx], right_origin, min_eff, max_size, min_size, out)
+
+
+def _choose_cut(sub: np.ndarray, min_size: int, max_size: int):
+    """Pick (axis, local cut index) — hole first, then Laplacian inflection,
+    then midpoint of the longest splittable axis."""
+    ndim = sub.ndim
+    signatures = []
+    for axis in range(ndim):
+        other = tuple(a for a in range(ndim) if a != axis)
+        signatures.append(sub.sum(axis=other))
+
+    # 1. holes (zero signature) away from the edges
+    best_hole = None  # (distance from center is tie-break: prefer central)
+    for axis in range(ndim):
+        sig = signatures[axis]
+        n = len(sig)
+        if n < 2 * min_size:
+            continue
+        zeros = [i for i in range(min_size, n - min_size + 1) if sig[i] == 0]
+        for z in zeros:
+            d = abs(z - n / 2)
+            if best_hole is None or d < best_hole[0]:
+                best_hole = (d, axis, z)
+    if best_hole is not None:
+        return best_hole[1], best_hole[2]
+
+    # 2. strongest sign change of the signature Laplacian
+    best_infl = None  # (-magnitude, distance, axis, cut)
+    for axis in range(ndim):
+        sig = signatures[axis].astype(np.int64)
+        n = len(sig)
+        if n < 2 * min_size + 2:
+            continue
+        lap = sig[2:] - 2 * sig[1:-1] + sig[:-2]  # index i -> cell i+1
+        for i in range(len(lap) - 1):
+            cut = i + 2  # split between cells i+1 and i+2
+            if not (min_size <= cut <= n - min_size):
+                continue
+            if lap[i] * lap[i + 1] < 0:
+                mag = abs(int(lap[i]) - int(lap[i + 1]))
+                d = abs(cut - n / 2)
+                cand = (-mag, d, axis, cut)
+                if best_infl is None or cand < best_infl:
+                    best_infl = cand
+    if best_infl is not None:
+        return best_infl[2], best_infl[3]
+
+    # 3. bisect the longest splittable axis
+    order = sorted(range(ndim), key=lambda a: -sub.shape[a])
+    for axis in order:
+        n = sub.shape[axis]
+        if n >= 2 * min_size:
+            return axis, n // 2
+    return None, None

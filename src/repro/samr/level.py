@@ -1,0 +1,90 @@
+"""A refinement level: the set of same-resolution patches.
+
+Levels know their grid spacing, the domain box in their own index space,
+and which cells are covered by patches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.samr.box import Box
+from repro.samr.patch import Patch
+
+
+@dataclass
+class Level:
+    """One level of the patch hierarchy."""
+
+    number: int
+    domain: Box            # full domain in this level's index space
+    dx: tuple[float, ...]  # cell size per dimension
+    patches: list[Patch] = field(default_factory=list)
+
+    def add(self, patch: Patch) -> None:
+        if patch.level != self.number:
+            raise MeshError(
+                f"patch level {patch.level} != level number {self.number}")
+        if not self.domain.contains_box(patch.box):
+            raise MeshError(
+                f"patch {patch.box} escapes level domain {self.domain}")
+        for other in self.patches:
+            if other.box.intersects(patch.box):
+                raise MeshError(
+                    f"patch {patch.box} overlaps existing {other.box}")
+        self.patches.append(patch)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def boxes(self) -> list[Box]:
+        return [p.box for p in self.patches]
+
+    @property
+    def ncells(self) -> int:
+        return sum(p.box.size for p in self.patches)
+
+    def patch_by_id(self, pid: int) -> Patch:
+        for p in self.patches:
+            if p.id == pid:
+                return p
+        raise MeshError(f"no patch {pid} on level {self.number}")
+
+    def owned(self, rank: int) -> list[Patch]:
+        """Patches assigned to ``rank``."""
+        return [p for p in self.patches if p.owner == rank]
+
+    def covers(self, box: Box) -> bool:
+        """True when ``box`` is entirely under this level's patches."""
+        from repro.samr.boxlist import subtract_all
+
+        return not subtract_all([box], self.boxes)
+
+    def covered_fraction(self, box: Box) -> float:
+        """Fraction of ``box`` cells under this level's patches."""
+        if box.size == 0:
+            return 1.0
+        from repro.samr.boxlist import subtract_all
+
+        uncovered = sum(b.size for b in subtract_all([box], self.boxes))
+        return 1.0 - uncovered / box.size
+
+    # -- geometry ---------------------------------------------------------
+    def cell_centers(self, patch: Patch, origin: tuple[float, ...],
+                     ghost: bool = False) -> tuple[np.ndarray, ...]:
+        """Physical coordinates of cell centers, one 1-D array per axis.
+
+        ``origin`` is the physical coordinate of the low corner of cell
+        (0, 0, ...) of this level.
+        """
+        box = patch.ghost_box if ghost else patch.box
+        return tuple(
+            origin[d] + (np.arange(box.lo[d], box.hi[d] + 1) + 0.5) * self.dx[d]
+            for d in range(box.ndim)
+        )
+
+    def __repr__(self) -> str:
+        return (f"Level({self.number}, {len(self.patches)} patches, "
+                f"{self.ncells} cells)")

@@ -1,0 +1,102 @@
+"""Domain decomposition / load balancing.
+
+"Patches are collated and distributed among processors to maximize
+load-balance while keeping parents and children on the same processors."
+(paper §4.2)
+
+Two strategies are provided:
+
+* :func:`balance_greedy` — longest-processing-time-first bin packing on
+  cell counts (optionally weighted); good balance, ignores locality.
+* :func:`balance_sfc` — Morton space-filling-curve ordering chopped into
+  near-equal contiguous chunks; keeps spatial neighbours (and therefore
+  parents/children) on the same rank, the property the paper's flame run
+  relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MeshError
+from repro.samr.box import Box
+
+
+def balance_greedy(boxes: Sequence[Box], nranks: int,
+                   weights: Sequence[float] | None = None) -> list[int]:
+    """Assign each box a rank via LPT greedy bin packing.
+
+    Returns the owner rank per box (same order as ``boxes``).
+    """
+    if nranks < 1:
+        raise MeshError("need at least one rank")
+    if weights is not None and len(weights) != len(boxes):
+        raise MeshError("weights length mismatch")
+    loads = [0.0] * nranks
+    owners = [0] * len(boxes)
+    order = sorted(
+        range(len(boxes)),
+        key=lambda i: (weights[i] if weights else boxes[i].size),
+        reverse=True,
+    )
+    for i in order:
+        w = float(weights[i]) if weights else float(boxes[i].size)
+        rank = loads.index(min(loads))
+        owners[i] = rank
+        loads[rank] += w
+    return owners
+
+
+def balance_sfc(boxes: Sequence[Box], nranks: int,
+                weights: Sequence[float] | None = None) -> list[int]:
+    """Assign ranks by Morton order of box centroids, split into chunks of
+    near-equal total weight."""
+    if nranks < 1:
+        raise MeshError("need at least one rank")
+    if not boxes:
+        return []
+    if weights is not None and len(weights) != len(boxes):
+        raise MeshError("weights length mismatch")
+    w = [float(weights[i]) if weights else float(boxes[i].size)
+         for i in range(len(boxes))]
+    order = sorted(range(len(boxes)),
+                   key=lambda i: _morton_key(_centroid(boxes[i])))
+    total = sum(w)
+    target = total / nranks
+    owners = [0] * len(boxes)
+    rank, acc = 0, 0.0
+    for i in order:
+        owners[i] = min(rank, nranks - 1)
+        acc += w[i]
+        # advance to the next rank once its fair share is consumed
+        while rank < nranks - 1 and acc >= target * (rank + 1):
+            rank += 1
+    return owners
+
+
+def load_imbalance(boxes: Sequence[Box], owners: Sequence[int],
+                   nranks: int,
+                   weights: Sequence[float] | None = None) -> float:
+    """max-load / mean-load (1.0 = perfectly balanced)."""
+    loads = [0.0] * nranks
+    for i, box in enumerate(boxes):
+        loads[owners[i]] += float(weights[i]) if weights else float(box.size)
+    mean = sum(loads) / nranks
+    if mean == 0.0:
+        return 1.0
+    return max(loads) / mean
+
+
+def _centroid(box: Box) -> tuple[int, ...]:
+    return tuple((l + h) // 2 for l, h in zip(box.lo, box.hi))
+
+
+def _morton_key(idx: tuple[int, ...], bits: int = 16) -> int:
+    """Interleave coordinate bits (Z-order). Negative coords are offset."""
+    offset = 1 << (bits - 1)
+    coords = [max(0, min((1 << bits) - 1, c + offset)) for c in idx]
+    key = 0
+    for bit in range(bits):
+        for d, c in enumerate(coords):
+            key |= ((c >> bit) & 1) << (bit * len(coords) + d)
+    return key

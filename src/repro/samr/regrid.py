@@ -1,0 +1,205 @@
+"""Regridding: periodic recreation of the patch hierarchy.
+
+"The patch hierarchy is periodically recreated.  The solution is passed
+through a filter to determine regions needing finer meshes, whereby new
+patches are created and initialized with data from the coarse meshes
+(provided there does not exist a patch of the same resolution over that
+subdomain, wholly or partly).  ...  Upon patch recreation the domain
+decomposition on multiple processors is re-defined."  (paper §3)
+
+All levels advance with a common time step in this toolkit (no Berger-
+Collela subcycling); see DESIGN.md.  Regridding therefore happens at a
+synchronization point, which keeps the data-transfer logic purely spatial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.samr.box import Box
+from repro.samr.clustering import cluster_flags
+from repro.samr.dataobject import DataObject
+from repro.samr.flagging import assemble_level_flags, buffer_flags
+from repro.samr.hierarchy import Hierarchy
+from repro.samr.prolong import prolong_bilinear
+
+#: ``flag_fn(level) -> {patch_id: bool interior array}`` for owned patches.
+FlagFn = Callable[[int], dict[int, np.ndarray]]
+
+
+def regrid(
+    hierarchy: Hierarchy,
+    dataobjs: Sequence[DataObject],
+    flag_fn: FlagFn,
+    comm=None,
+    buffer: int = 2,
+    min_efficiency: float = 0.7,
+    max_size: int = 32,
+    min_size: int = 4,
+) -> None:
+    """Recreate every refinement level from fresh error flags.
+
+    1. Flag cells on each existing level (finest candidates first) and
+       cluster them into new box sets, enforcing proper nesting by adding
+       the coarsened image of level ``l+2``'s new boxes to level ``l+1``'s
+       flags.
+    2. Rebuild levels coarsest-first: new patches are seeded by monotone
+       bilinear prolongation from the (already rebuilt) coarser level, then
+       overwritten with any old same-level data that overlaps.
+    3. DataObjects are reallocated; ghost cells are left to the caller.
+    """
+    max_new = hierarchy.max_levels - 1
+    n_flag_levels = min(hierarchy.nlevels, max_new)
+    if n_flag_levels == 0:
+        return
+
+    # -- step 1: dense flags per level, then boxes finest-first -------------
+    dense: list[np.ndarray] = []
+    origins: list[tuple[int, ...]] = []
+    for lev in range(n_flag_levels):
+        patch_flags = flag_fn(lev)
+        d, origin = assemble_level_flags(hierarchy, lev, patch_flags, comm)
+        if buffer > 0:
+            d = buffer_flags(d, buffer)
+        dense.append(d)
+        origins.append(origin)
+
+    new_boxes: dict[int, list[Box]] = {}
+    for lev in range(n_flag_levels - 1, -1, -1):
+        flags = dense[lev]
+        # nesting: flag the footprint of the (finer) level we just designed
+        finer = new_boxes.get(lev + 2, [])
+        for fb in finer:
+            cb = fb.coarsen(hierarchy.ratio ** 2).grow(1)
+            cb = cb.intersection(hierarchy.domain_at(lev))
+            if not cb.empty:
+                flags[cb.slices(origin=origins[lev])] = True
+        boxes = cluster_flags(flags, origins[lev],
+                              min_efficiency=min_efficiency,
+                              max_size=max_size, min_size=min_size)
+        new_boxes[lev + 1] = [b.refine(hierarchy.ratio) for b in boxes]
+
+    # -- step 2: rebuild levels coarsest-first ------------------------------
+    rank = 0 if comm is None else comm.rank
+    top = 0
+    for lev in range(1, max_new + 1):
+        boxes = new_boxes.get(lev, [])
+        if not boxes:
+            break
+        old_data = _snapshot_level(hierarchy, dataobjs, lev)
+        hierarchy.set_level_boxes(lev, boxes)
+        for dobj in dataobjs:
+            dobj.sync_allocation()
+        for d, dobj in enumerate(dataobjs):
+            _seed_from_coarse(dobj, lev, comm)
+            _copy_old_overlaps(dobj, lev, old_data[d], comm)
+        if hierarchy.level(lev).patches:
+            top = lev
+    hierarchy.drop_levels_above(top)
+    for dobj in dataobjs:
+        dobj.sync_allocation()
+
+
+# ---------------------------------------------------------------- helpers
+def _snapshot_level(hierarchy: Hierarchy, dataobjs: Sequence[DataObject],
+                    lev: int) -> list[list[tuple[Box, np.ndarray]]]:
+    """Keep (box, interior copy) of owned patches of ``lev`` per DataObject
+    before the level is destroyed."""
+    out: list[list[tuple[Box, np.ndarray]]] = [[] for _ in dataobjs]
+    if lev >= hierarchy.nlevels:
+        return out
+    for d, dobj in enumerate(dataobjs):
+        for patch in list(dobj.owned_patches(lev)):
+            out[d].append((patch.box, dobj.interior(patch).copy()))
+    return out
+
+
+def _seed_from_coarse(dobj: DataObject, lev: int, comm=None) -> None:
+    """Fill new level ``lev`` interiors by prolongation from ``lev-1``."""
+    hierarchy = dobj.hierarchy
+    ratio = hierarchy.ratio
+    coarse_lvl = hierarchy.level(lev - 1)
+    rank = 0 if comm is None else comm.rank
+    nranks = 1 if comm is None else comm.size
+
+    tasks = []  # (fine patch, padded coarse need box)
+    for fine in hierarchy.level(lev).patches:
+        need = fine.box.coarsen(ratio).grow(1).intersection(
+            hierarchy.domain_at(lev - 1).grow(1))
+        tasks.append((fine, need))
+
+    sends: list[list] = [[] for _ in range(nranks)]
+    local: dict[int, list] = {}
+    for t, (fine, need) in enumerate(tasks):
+        for cp in coarse_lvl.patches:
+            overlap = cp.box.intersection(need)
+            if overlap.empty or cp.owner != rank:
+                continue
+            block = np.ascontiguousarray(
+                dobj.array(cp)[(slice(None), *cp.slices_for(overlap))])
+            if fine.owner == rank:
+                local.setdefault(t, []).append((overlap, block))
+            else:
+                sends[fine.owner].append((t, overlap.lo, overlap.hi, block))
+    if comm is not None and comm.size > 1:
+        incoming = comm.alltoall(sends)
+        for batch in incoming:
+            for t, lo, hi, block in batch:
+                local.setdefault(t, []).append((Box(lo, hi), block))
+
+    from repro.samr.ghost import _fill_holes_nearest
+
+    for t, (fine, need) in enumerate(tasks):
+        if fine.owner != rank:
+            continue
+        buf = np.full((dobj.nvar, *need.shape), np.nan)
+        for overlap, block in local.get(t, []):
+            buf[(slice(None), *overlap.slices(origin=need.lo))] = block
+        _fill_holes_nearest(buf)
+        fine_block = prolong_bilinear(buf, ratio)
+        covered = Box(
+            tuple((l + 1) * ratio for l in need.lo),
+            tuple(h * ratio - 1 for h in need.hi),
+        )
+        sel = fine.box.slices(origin=covered.lo)
+        dobj.array(fine)[(slice(None), *fine.interior_slices())] = \
+            fine_block[(slice(None), *sel)]
+
+
+def _copy_old_overlaps(dobj: DataObject, lev: int,
+                       old: list[tuple[Box, np.ndarray]], comm=None) -> None:
+    """Overwrite prolonged data with surviving same-resolution data.
+
+    ``old`` holds this rank's pre-regrid patches; overlaps with new patches
+    owned elsewhere are shipped point-to-point via one alltoall.
+    """
+    hierarchy = dobj.hierarchy
+    lvl = hierarchy.level(lev)
+    rank = 0 if comm is None else comm.rank
+    nranks = 1 if comm is None else comm.size
+
+    sends: list[list] = [[] for _ in range(nranks)]
+    for old_box, data in old:
+        for new_patch in lvl.patches:
+            overlap = old_box.intersection(new_patch.box)
+            if overlap.empty:
+                continue
+            block = data[(slice(None), *overlap.slices(origin=old_box.lo))]
+            if new_patch.owner == rank:
+                dobj.array(new_patch)[
+                    (slice(None), *new_patch.slices_for(overlap))] = block
+            else:
+                sends[new_patch.owner].append(
+                    (new_patch.id, overlap.lo, overlap.hi,
+                     np.ascontiguousarray(block)))
+    if comm is not None and comm.size > 1:
+        incoming = comm.alltoall(sends)
+        for batch in incoming:
+            for pid, lo, hi, block in batch:
+                new_patch = lvl.patch_by_id(pid)
+                overlap = Box(lo, hi)
+                dobj.array(new_patch)[
+                    (slice(None), *new_patch.slices_for(overlap))] = block

@@ -1,0 +1,26 @@
+"""Restriction: fine-to-coarse averaging (cell-centered, conservative)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+
+
+def restrict_average(fine: np.ndarray, ratio: int) -> np.ndarray:
+    """Average ``ratio x ratio`` fine-cell blocks onto coarse cells.
+
+    Acts on the last two axes; their lengths must be multiples of
+    ``ratio``.  Exactly conserves the integral of the field.
+    """
+    if ratio < 1:
+        raise MeshError(f"ratio must be >= 1, got {ratio}")
+    if ratio == 1:
+        return fine.copy()
+    nx, ny = fine.shape[-2], fine.shape[-1]
+    if nx % ratio or ny % ratio:
+        raise MeshError(
+            f"fine shape {(nx, ny)} not divisible by ratio {ratio}")
+    lead = fine.shape[:-2]
+    blocked = fine.reshape(*lead, nx // ratio, ratio, ny // ratio, ratio)
+    return blocked.mean(axis=(-3, -1))

@@ -1,0 +1,65 @@
+"""Temporal interpolation operators.
+
+The Interpolation subsystem "implement[s] various spatial and temporal
+interpolation operators" (paper §4, subsystem 6).  The spatial operators
+live in :mod:`repro.samr.prolong`/:mod:`repro.samr.restrict`; these are
+the temporal ones, needed when a subcycling integrator fills fine-level
+ghosts from coarse data at intermediate times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+
+
+def time_interpolate(t: float, t_old: float, data_old: np.ndarray,
+                     t_new: float, data_new: np.ndarray) -> np.ndarray:
+    """Linear interpolation between two time levels of the same region.
+
+    ``t`` must lie in ``[t_old, t_new]`` (a small tolerance is allowed for
+    round-off at the ends).
+    """
+    if t_new <= t_old:
+        raise MeshError(f"need t_new > t_old, got [{t_old}, {t_new}]")
+    span = t_new - t_old
+    theta = (t - t_old) / span
+    if not -1e-10 <= theta <= 1.0 + 1e-10:
+        raise MeshError(
+            f"t={t} outside interpolation window [{t_old}, {t_new}]")
+    theta = min(max(theta, 0.0), 1.0)
+    if data_old.shape != data_new.shape:
+        raise MeshError(
+            f"shape mismatch {data_old.shape} vs {data_new.shape}")
+    return (1.0 - theta) * data_old + theta * data_new
+
+
+class TimeInterpolant:
+    """Holds two time levels of a field and interpolates between them.
+
+    The subcycling pattern: the coarse level stores its state at ``t_n``
+    and ``t_n + dt_coarse``; each fine substep asks for the coarse data at
+    its own intermediate time.
+    """
+
+    def __init__(self, t_old: float, data_old: np.ndarray,
+                 t_new: float, data_new: np.ndarray) -> None:
+        if t_new <= t_old:
+            raise MeshError("need t_new > t_old")
+        self.t_old = float(t_old)
+        self.t_new = float(t_new)
+        self.data_old = np.array(data_old, copy=True)
+        self.data_new = np.array(data_new, copy=True)
+
+    def at(self, t: float) -> np.ndarray:
+        return time_interpolate(t, self.t_old, self.data_old,
+                                self.t_new, self.data_new)
+
+    def advance(self, t_next: float, data_next: np.ndarray) -> None:
+        """Slide the window: the newest level becomes the oldest."""
+        if t_next <= self.t_new:
+            raise MeshError("window must advance forward in time")
+        self.t_old, self.data_old = self.t_new, self.data_new
+        self.t_new = float(t_next)
+        self.data_new = np.array(data_next, copy=True)

@@ -1,0 +1,7 @@
+"""Shared utilities: run-time options, logging, timers."""
+
+from repro.util.options import Options, fast_mode
+from repro.util.timing import Stopwatch, ThreadCpuTimer
+from repro.util.logging import get_logger
+
+__all__ = ["Options", "fast_mode", "Stopwatch", "ThreadCpuTimer", "get_logger"]

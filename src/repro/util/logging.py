@@ -1,0 +1,54 @@
+"""Logging setup.
+
+The CCAFFEINE framework de-multiplexes per-rank output through its GUI; our
+analog tags every log record with the SCMD rank when one is active.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+_local = threading.local()
+
+
+def set_rank(rank: int | None) -> None:
+    """Tag the calling thread with an SCMD rank (None clears the tag)."""
+    _local.rank = rank
+
+
+def get_rank() -> int | None:
+    return getattr(_local, "rank", None)
+
+
+class _RankFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        rank = get_rank()
+        record.rank = f"[rank {rank}]" if rank is not None else ""
+        return True
+
+
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s%(rank)s: %(message)s")
+    )
+    handler.addFilter(_RankFilter())
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy with rank tagging."""
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,90 @@
+"""Timers used by the virtual-time machinery and the bench harness.
+
+Two clocks matter here:
+
+* wall clock (``time.perf_counter``) — what a user experiences; used only in
+  reports.
+* per-thread CPU time (``time.thread_time``) — what *this rank* actually
+  burned, immune to GIL interleaving with other ranks' threads.  This is the
+  clock the SCMD virtual-time model charges for compute sections.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> sw.start(); ...; sw.stop()      # doctest: +SKIP
+    >>> sw.elapsed                       # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class ThreadCpuTimer:
+    """Accumulating per-thread CPU timer built on ``time.thread_time``.
+
+    Only time spent on the calling thread is counted, so P rank-threads
+    time-sharing one core each see their own cost — the key trick that lets
+    the SCMD substrate emulate a P-node machine on a laptop.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "ThreadCpuTimer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.thread_time()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        self.elapsed += time.thread_time() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "ThreadCpuTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

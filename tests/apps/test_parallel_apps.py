@@ -1,0 +1,68 @@
+"""SCMD parallel runs of the full applications: parallel == serial."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_reaction_diffusion, run_shock_interface
+from repro.mpi import ZERO_COST, CPLANT, mpirun
+
+
+def test_shock_interface_parallel_matches_serial():
+    kwargs = dict(nx=32, ny=16, max_levels=1, t_end_over_tau=0.5,
+                  regrid_interval=0)
+
+    def main(comm):
+        res = run_shock_interface(comm=comm, **kwargs)
+        return res["circulation_min"], res["steps"]
+
+    ser = run_shock_interface(**kwargs)
+    par = mpirun(2, main, machine=ZERO_COST)
+    for circ, steps in par:
+        assert steps == ser["steps"]
+        assert circ == pytest.approx(ser["circulation_min"], rel=1e-9)
+
+
+def test_shock_interface_amr_parallel_matches_serial():
+    kwargs = dict(nx=32, ny=16, max_levels=2, t_end_over_tau=0.4,
+                  regrid_interval=3, initial_regrids=1)
+
+    def main(comm):
+        res = run_shock_interface(comm=comm, **kwargs)
+        return res["circulation_min"], res["total_cells"]
+
+    ser = run_shock_interface(**kwargs)
+    par = mpirun(2, main, machine=ZERO_COST)
+    for circ, cells in par:
+        assert cells == ser["total_cells"]
+        assert circ == pytest.approx(ser["circulation_min"], rel=1e-6)
+
+
+def test_reaction_diffusion_four_ranks():
+    def main(comm):
+        res = run_reaction_diffusion(
+            comm=comm, nx=16, ny=16, max_levels=1, n_steps=2, dt=1e-7,
+            chemistry_mode="batch")
+        return res["T_max"]
+
+    ser = run_reaction_diffusion(nx=16, ny=16, max_levels=1, n_steps=2,
+                                 dt=1e-7, chemistry_mode="batch")
+    par = mpirun(4, main, machine=ZERO_COST)
+    for t in par:
+        assert t == pytest.approx(ser["T_max"], rel=1e-10)
+
+
+def test_virtual_time_sane_under_cplant_model():
+    """Running under the CPlant model must produce positive, bounded
+    virtual clocks that include communication time."""
+
+    def main(comm):
+        run_reaction_diffusion(
+            comm=comm, nx=16, ny=16, max_levels=1, n_steps=2, dt=1e-7,
+            chemistry_mode="batch")
+        comm.barrier()
+        return comm.clock
+
+    clocks = mpirun(2, main, machine=CPLANT)
+    assert all(0.0 < c < 120.0 for c in clocks)
+    # barrier synchronizes the exit clocks
+    assert abs(clocks[0] - clocks[1]) < 0.2 * max(clocks)

@@ -1,0 +1,42 @@
+"""Tests for the bench reporting helpers."""
+
+import os
+
+import pytest
+
+from repro.bench import format_table, save_report
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "longheader"], [[1, 2.5], [333, 4.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "longheader" in lines[0]
+    # column separators align
+    assert lines[1].count("-") >= len("longheader")
+
+
+def test_format_table_title_and_floats():
+    text = format_table(["x"], [[1.23456789]], title="T",
+                        floatfmt="{:.2f}")
+    assert text.splitlines()[0] == "T"
+    assert "1.23" in text
+
+
+def test_format_table_empty_rows():
+    text = format_table(["h1", "h2"], [])
+    assert "h1" in text
+
+
+def test_save_report_roundtrip(tmp_path):
+    path = save_report("unit", "hello\nworld", directory=str(tmp_path))
+    assert os.path.exists(path)
+    with open(path) as fh:
+        assert fh.read() == "hello\nworld\n"
+
+
+def test_save_report_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "envdir"))
+    path = save_report("unit2", "x")
+    assert str(tmp_path / "envdir") in path

@@ -1,0 +1,86 @@
+"""Tests for the standard port definitions: abstractness, type naming,
+and the port-type inheritance rule."""
+
+import inspect
+
+import pytest
+
+from repro.cca import Port
+from repro.cca.ports import (
+    BoundaryConditionPort,
+    CharacteristicsPort,
+    ChemistryPort,
+    DataObjectPort,
+    DPDtPort,
+    FluxPort,
+    GoPort,
+    InitialConditionPort,
+    IntegratorPort,
+    MeshPort,
+    ODESolverPort,
+    ParameterPort,
+    PatchRHSPort,
+    ProlongRestrictPort,
+    RegridPort,
+    SpectralBoundPort,
+    StatesPort,
+    StatisticsPort,
+    TransportPort,
+    VectorICPort,
+    VectorRHSPort,
+)
+
+ALL_PORTS = [
+    BoundaryConditionPort, CharacteristicsPort, ChemistryPort,
+    DataObjectPort, DPDtPort, FluxPort, GoPort, InitialConditionPort,
+    IntegratorPort, MeshPort, ODESolverPort, ParameterPort, PatchRHSPort,
+    ProlongRestrictPort, RegridPort, SpectralBoundPort, StatesPort,
+    StatisticsPort, TransportPort, VectorICPort, VectorRHSPort,
+]
+
+
+@pytest.mark.parametrize("port_cls", ALL_PORTS,
+                         ids=[c.__name__ for c in ALL_PORTS])
+def test_port_type_is_own_name(port_cls):
+    """Each standard port is directly below Port, so its type string is
+    its own class name."""
+    assert issubclass(port_cls, Port)
+    assert port_cls.port_type() == port_cls.__name__
+
+
+@pytest.mark.parametrize("port_cls", ALL_PORTS,
+                         ids=[c.__name__ for c in ALL_PORTS])
+def test_abstract_methods_raise(port_cls):
+    """Every declared method on a bare port raises NotImplementedError —
+    they are data-less abstract classes (paper §2)."""
+    instance = port_cls()
+    for name, member in inspect.getmembers(port_cls,
+                                           predicate=inspect.isfunction):
+        if name.startswith("_") or name == "port_type":
+            continue
+        sig = inspect.signature(member)
+        nargs = len(sig.parameters) - 1  # drop self
+        args = [None] * nargs
+        with pytest.raises(NotImplementedError):
+            getattr(instance, name)(*args)
+
+
+def test_subclass_of_standard_port_keeps_type():
+    """Refinements connect wherever the standard port is expected."""
+
+    class FancyFlux(FluxPort):
+        def flux(self, prim_l, prim_r, gamma):
+            return None
+
+    class EvenFancier(FancyFlux):
+        pass
+
+    assert FancyFlux.port_type() == "FluxPort"
+    assert EvenFancier.port_type() == "FluxPort"
+
+
+def test_docstrings_present():
+    """Public API documentation: every standard port carries a
+    docstring."""
+    for cls in ALL_PORTS:
+        assert cls.__doc__ and cls.__doc__.strip()

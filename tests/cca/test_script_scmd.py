@@ -1,0 +1,167 @@
+"""Tests for the rc-script parser/runner and SCMD multiplexing."""
+
+import numpy as np
+import pytest
+
+from repro.cca import Component, Framework, Port, parse_script, run_scmd, run_script
+from repro.cca.ports import GoPort
+from repro.errors import ScriptError
+from repro.mpi import ZERO_COST
+
+
+class EchoPort(Port):
+    def value(self):
+        raise NotImplementedError
+
+
+class _EchoImpl(EchoPort):
+    def __init__(self, services):
+        self.services = services
+
+    def value(self):
+        return self.services.get_parameter("payload", "empty")
+
+
+class Echo(Component):
+    def set_services(self, services):
+        services.add_provides_port(_EchoImpl(services), "out")
+
+
+class _DriverGo(GoPort):
+    def __init__(self, services):
+        self.services = services
+
+    def go(self):
+        return self.services.get_port("in").value()
+
+
+class Driver(Component):
+    def set_services(self, services):
+        services.register_uses_port("in", "EchoPort")
+        services.add_provides_port(_DriverGo(services), "go")
+
+
+class RankReporter(Component):
+    def set_services(self, services):
+        self.services = services
+
+        class _Go(GoPort):
+            def go(inner):
+                comm = self.services.get_comm()
+                total = comm.allreduce(comm.rank + 1)
+                return (comm.rank, comm.size, total)
+
+        services.add_provides_port(_Go(), "go")
+
+
+SCRIPT = """
+# assembly for the echo application
+repository get-global Echo
+repository get-global Driver
+
+instantiate Echo source
+create Driver sink          # 'create' is an alias
+parameter source payload 42
+connect sink in source out
+go sink
+"""
+
+
+# ------------------------------------------------------------------ parsing
+def test_parse_basic():
+    ds = parse_script(SCRIPT)
+    verbs = [d.verb for d in ds]
+    assert verbs == ["repository", "repository", "instantiate",
+                     "instantiate", "parameter", "connect", "go"]
+
+
+def test_parse_comments_and_blanks_skipped():
+    assert parse_script("# only comments\n\n   \n") == []
+
+
+@pytest.mark.parametrize("bad", [
+    "frobnicate x",
+    "instantiate OnlyOneArg",
+    "connect a b c",
+    "parameter x y",
+    "go",
+    "repository put-global X",
+])
+def test_parse_rejects_bad_lines(bad):
+    with pytest.raises(ScriptError):
+        parse_script(bad)
+
+
+def test_parse_reports_line_numbers():
+    with pytest.raises(ScriptError, match="line 3"):
+        parse_script("# one\n# two\nbogus directive\n")
+
+
+# ------------------------------------------------------------------ running
+def make_framework():
+    fw = Framework()
+    fw.registry.register_many([Echo, Driver])
+    return fw
+
+
+def test_run_script_full_assembly():
+    fw = make_framework()
+    results = run_script(fw, SCRIPT)
+    assert results == [42]  # parameter parsed as int
+
+
+def test_parameter_value_parsing():
+    fw = make_framework()
+    run_script(fw, "instantiate Echo e\nparameter e payload 2.5\n")
+    assert fw.services_of("e").get_parameter("payload") == 2.5
+    run_script(fw, "parameter e other hello world\n")
+    assert fw.services_of("e").get_parameter("other") == "hello world"
+
+
+def test_repository_check_fails_for_unknown():
+    fw = make_framework()
+    with pytest.raises(ScriptError, match="Unknown|unknown"):
+        run_script(fw, "repository get-global Missing\n")
+
+
+def test_runtime_error_wrapped_with_line():
+    fw = make_framework()
+    with pytest.raises(ScriptError, match="line 1"):
+        run_script(fw, "connect a b c d\n")
+
+
+def test_go_without_connection_fails():
+    fw = make_framework()
+    with pytest.raises(ScriptError, match="not connected|failed"):
+        run_script(fw, "instantiate Driver d\ngo d\n")
+
+
+# --------------------------------------------------------------------- SCMD
+def test_scmd_identical_frameworks_per_rank():
+    results = run_scmd(3, "instantiate RankReporter r\ngo r\n",
+                       classes=[RankReporter], machine=ZERO_COST)
+    assert results == [(0, 3, 6), (1, 3, 6), (2, 3, 6)]
+
+
+def test_scmd_with_callable_setup():
+    def setup(framework):
+        framework.instantiate("Echo", "e")
+        framework.set_parameter("e", "payload", "abc")
+        return framework.services_of("e").get_parameter("payload")
+
+    results = run_scmd(2, setup, classes=[Echo], machine=ZERO_COST)
+    assert results == ["abc", "abc"]
+
+
+def test_scmd_script_runs_same_everywhere():
+    results = run_scmd(2, SCRIPT, classes=[Echo, Driver],
+                       machine=ZERO_COST)
+    assert results == [42, 42]
+
+
+def test_scmd_clocks_returned():
+    results = run_scmd(1, SCRIPT, classes=[Echo, Driver],
+                       machine=ZERO_COST, return_clocks=True)
+    (value, clock), = results
+    assert value == 42
+    assert clock >= 0.0

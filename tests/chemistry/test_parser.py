@@ -1,0 +1,100 @@
+"""Tests for the Chemkin-flavoured deck parser."""
+
+import numpy as np
+import pytest
+
+from repro.chemistry import h2_lite_mechanism
+from repro.chemistry.parser import parse_mechanism
+from repro.errors import ChemistryError
+
+LITE_DECK = """
+! the 8-species / 5-reaction light mechanism as a text deck
+ELEMENTS H O N END
+SPECIES H2 O2 O OH H2O H HO2 N2 END
+REACTIONS
+H + O2 <=> O + OH          1.915E+14  0.00  1.6440E+04
+O + H2 <=> H + OH          5.080E+04  2.67  6.2900E+03
+H2 + OH <=> H2O + H        2.160E+08  1.51  3.4300E+03
+H + O2 + M <=> HO2 + M     6.366E+20 -1.72  5.2480E+02
+    H2 / 2.5 /  H2O / 12.0 /
+HO2 + H <=> 2 OH           7.079E+13  0.00  2.9500E+02
+END
+"""
+
+
+def test_parse_lite_deck_structure():
+    mech = parse_mechanism(LITE_DECK, name="lite-from-deck")
+    assert mech.n_species == 8
+    assert mech.n_reactions == 5
+    assert mech.names == ["H2", "O2", "O", "OH", "H2O", "H", "HO2", "N2"]
+    r4 = mech.reactions[3]
+    assert r4.has_third_body
+    assert r4.third_body == {"H2": 2.5, "H2O": 12.0}
+    r5 = mech.reactions[4]
+    assert r5.products == {"OH": 2}
+
+
+def test_parsed_deck_matches_builtin_rates():
+    """The deck above encodes exactly the built-in lite mechanism: rate
+    constants must agree at any temperature."""
+    parsed = parse_mechanism(LITE_DECK)
+    builtin = h2_lite_mechanism()
+    T = 1500.0
+    for rp, rb in zip(parsed.reactions, builtin.reactions):
+        assert rp.rate.k(T) == pytest.approx(rb.rate.k(T), rel=1e-12)
+    # and therefore identical source terms
+    Y = np.full(8, 1.0 / 8.0)
+    rho = builtin.density(T, 101325.0, Y)
+    C = builtin.concentrations(rho, Y)
+    np.testing.assert_allclose(parsed.wdot(T, C), builtin.wdot(T, C),
+                               rtol=1e-10)
+
+
+def test_falloff_reaction_parsed():
+    deck = """
+SPECIES H O2 HO2 H2 H2O N2 END
+REACTIONS
+H + O2 (+M) <=> HO2 (+M)   1.475E+12  0.60  0.0
+    LOW / 6.366E+20 -1.72 524.8 /
+    H2 / 2.5 /  H2O / 12.0 /
+END
+"""
+    mech = parse_mechanism(deck)
+    rxn = mech.reactions[0]
+    assert rxn.falloff is not None
+    assert rxn.falloff.low.b == pytest.approx(-1.72)
+    assert rxn.third_body["H2O"] == 12.0
+
+
+def test_irreversible_arrow():
+    deck = """
+SPECIES H2 H N2 END
+REACTIONS
+H2 + M => H + H + M   4.577E+19 -1.40 1.0438E+05
+END
+"""
+    mech = parse_mechanism(deck)
+    assert not mech.reactions[0].reversible
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("SPECIES XX END\nREACTIONS\nEND", "no thermo data"),
+    ("REACTIONS\nLOW / 1 2 3 /\nEND", "LOW without"),
+    ("SPECIES H2 END\nREACTIONS\nH2 + M <=> H + H 1 0 0\nEND",
+     "both sides"),
+    ("", "no species"),
+])
+def test_parser_error_reporting(bad, msg):
+    with pytest.raises(ChemistryError, match=msg):
+        parse_mechanism(bad)
+
+
+def test_unbalanced_deck_caught():
+    deck = """
+SPECIES H2 H N2 END
+REACTIONS
+H2 <=> H  1.0E+10 0.0 0.0
+END
+"""
+    with pytest.raises(ChemistryError, match="unbalanced"):
+        parse_mechanism(deck)

@@ -1,0 +1,9 @@
+"""Shared test configuration.
+
+Tests force ``REPRO_FAST`` problem sizes so the suite stays quick; the
+benchmarks under ``benchmarks/`` run the paper-scale configurations.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_FAST", "1")

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) on the hydrodynamics kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.hydro import (
+    EulerState,
+    cons_to_prim,
+    efm_flux,
+    godunov_flux,
+    prim_to_cons,
+    riemann_exact,
+    sample_riemann,
+)
+from repro.hydro.state import euler_flux_x
+
+GAMMA = 1.4
+
+rhos = st.floats(0.05, 10.0, allow_nan=False)
+vels = st.floats(-3.0, 3.0, allow_nan=False)
+press = st.floats(0.05, 10.0, allow_nan=False)
+zetas = st.floats(0.0, 1.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rhos, vels, vels, press, zetas)
+def test_cons_prim_roundtrip(rho, u, v, p, zeta):
+    U = prim_to_cons(np.array([rho]), np.array([u]), np.array([v]),
+                     np.array([p]), np.array([zeta]), GAMMA)
+    r2, u2, v2, p2, z2 = cons_to_prim(U, GAMMA)
+    assert r2[0] == pytest.approx(rho, rel=1e-12)
+    assert u2[0] == pytest.approx(u, rel=1e-9, abs=1e-12)
+    assert p2[0] == pytest.approx(p, rel=1e-9)
+    assert z2[0] == pytest.approx(zeta, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rhos, vels, press, rhos, vels, press)
+def test_riemann_star_state_properties(rl, ul, pl, rr, ur, pr):
+    """p* > 0 always; u* between characteristics; consistency when the
+    states are equal."""
+    al = np.sqrt(GAMMA * pl / rl)
+    ar = np.sqrt(GAMMA * pr / rr)
+    assume(2 * (al + ar) / (GAMMA - 1) > (ur - ul) + 0.1)  # no vacuum
+    p_star, u_star = riemann_exact(rl, ul, pl, rr, ur, pr, GAMMA)
+    assert p_star > 0.0
+    # rigorous bounds: u* = ul - f_L(p*) with f_L >= -2 a_l/(gamma-1), and
+    # u* = ur + f_R(p*) with f_R >= -2 a_r/(gamma-1)
+    assert u_star <= ul + 2 * al / (GAMMA - 1) + 1e-9
+    assert u_star >= ur - 2 * ar / (GAMMA - 1) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(rhos, vels, press, zetas)
+def test_fluxes_consistent_with_exact(rho, u, p, zeta):
+    """F(W, W) == exact flux for both Godunov and EFM, any state."""
+    prim = tuple(np.array([x]) for x in (rho, u, 0.3, p, zeta))
+    W = EulerState(rho, u, 0.3, p, zeta).conserved(GAMMA).reshape(5, 1)
+    exact = euler_flux_x(W, GAMMA)
+    for flux in (godunov_flux, efm_flux):
+        F = flux(prim, prim, GAMMA)
+        np.testing.assert_allclose(F, exact, rtol=1e-6, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rhos, vels, press, rhos, vels, press)
+def test_sampled_state_is_physical(rl, ul, pl, rr, ur, pr):
+    al = np.sqrt(GAMMA * pl / rl)
+    ar = np.sqrt(GAMMA * pr / rr)
+    assume(2 * (al + ar) / (GAMMA - 1) > (ur - ul) + 0.1)
+    rho, u, v, p, zeta = sample_riemann(
+        rl, ul, 0.0, pl, 1.0, rr, ur, 0.0, pr, 0.0, GAMMA)
+    assert rho > 0.0 and p > 0.0
+    assert zeta in (0.0, 1.0)  # passive scalar takes one side
+
+
+@settings(max_examples=40, deadline=None)
+@given(rhos, vels, press, rhos, vels, press)
+def test_godunov_flux_mirror_symmetry(rl, ul, pl, rr, ur, pr):
+    """Mirroring the problem (x -> -x) negates mass flux and preserves the
+    momentum flux: F_rho(L,R) = -F_rho(mirror R, mirror L)."""
+    al = np.sqrt(GAMMA * pl / rl)
+    ar = np.sqrt(GAMMA * pr / rr)
+    assume(2 * (al + ar) / (GAMMA - 1) > abs(ur - ul) + 0.2)
+    priml = tuple(np.array([x]) for x in (rl, ul, 0.0, pl, 0.5))
+    primr = tuple(np.array([x]) for x in (rr, ur, 0.0, pr, 0.5))
+    ml = tuple(np.array([x]) for x in (rr, -ur, 0.0, pr, 0.5))
+    mr = tuple(np.array([x]) for x in (rl, -ul, 0.0, pl, 0.5))
+    F = godunov_flux(priml, primr, GAMMA)
+    Fm = godunov_flux(ml, mr, GAMMA)
+    assert F[0, 0] == pytest.approx(-Fm[0, 0], rel=1e-7, abs=1e-10)
+    assert F[1, 0] == pytest.approx(Fm[1, 0], rel=1e-7, abs=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rhos, vels, press, rhos, vels, press)
+def test_efm_flux_mirror_symmetry(rl, ul, pl, rr, ur, pr):
+    priml = tuple(np.array([x]) for x in (rl, ul, 0.0, pl, 0.5))
+    primr = tuple(np.array([x]) for x in (rr, ur, 0.0, pr, 0.5))
+    ml = tuple(np.array([x]) for x in (rr, -ur, 0.0, pr, 0.5))
+    mr = tuple(np.array([x]) for x in (rl, -ul, 0.0, pl, 0.5))
+    F = efm_flux(priml, primr, GAMMA)
+    Fm = efm_flux(ml, mr, GAMMA)
+    assert F[0, 0] == pytest.approx(-Fm[0, 0], rel=1e-9, abs=1e-12)
+    assert F[1, 0] == pytest.approx(Fm[1, 0], rel=1e-9, abs=1e-12)

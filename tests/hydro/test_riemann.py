@@ -1,0 +1,145 @@
+"""Tests for the exact Riemann solver against Toro's reference solutions,
+plus flux consistency for Godunov and EFM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HydroError
+from repro.hydro import (
+    EulerState,
+    efm_flux,
+    godunov_flux,
+    riemann_exact,
+    sample_riemann,
+)
+from repro.hydro.state import euler_flux_x
+
+GAMMA = 1.4
+
+
+# ------------------------------------------------------- star states (Toro)
+def test_sod_star_state():
+    """Toro test 1 (Sod): p* = 0.30313, u* = 0.92745."""
+    p, u = riemann_exact(1.0, 0.0, 1.0, 0.125, 0.0, 0.1, GAMMA)
+    assert p == pytest.approx(0.30313, rel=1e-4)
+    assert u == pytest.approx(0.92745, rel=1e-4)
+
+
+def test_toro_test2_123_problem():
+    """Toro test 2 (double rarefaction): p* = 0.00189, u* = 0."""
+    p, u = riemann_exact(1.0, -2.0, 0.4, 1.0, 2.0, 0.4, GAMMA)
+    assert p == pytest.approx(0.00189, rel=5e-2)
+    assert u == pytest.approx(0.0, abs=1e-10)
+
+
+def test_toro_test3_strong_shock():
+    """Toro test 3: pL = 1000; p* = 460.894, u* = 19.5975."""
+    p, u = riemann_exact(1.0, 0.0, 1000.0, 1.0, 0.0, 0.01, GAMMA)
+    assert p == pytest.approx(460.894, rel=1e-4)
+    assert u == pytest.approx(19.5975, rel=1e-4)
+
+
+def test_toro_test5_two_shocks():
+    """Toro test 5: colliding streams; p* = 1691.64, u* = 8.68975."""
+    p, u = riemann_exact(5.99924, 19.5975, 460.894,
+                         5.99242, -6.19633, 46.0950, GAMMA)
+    assert p == pytest.approx(1691.64, rel=1e-3)
+    assert u == pytest.approx(8.68975, rel=1e-3)
+
+
+def test_vectorized_star_states():
+    p, u = riemann_exact(
+        np.array([1.0, 1.0]), np.array([0.0, 0.0]),
+        np.array([1.0, 1000.0]),
+        np.array([0.125, 1.0]), np.array([0.0, 0.0]),
+        np.array([0.1, 0.01]), GAMMA)
+    assert p[0] == pytest.approx(0.30313, rel=1e-4)
+    assert p[1] == pytest.approx(460.894, rel=1e-4)
+
+
+def test_trivial_riemann_identity():
+    """Equal states: star = that state, no waves."""
+    p, u = riemann_exact(1.0, 0.5, 2.0, 1.0, 0.5, 2.0, GAMMA)
+    assert p == pytest.approx(2.0, rel=1e-10)
+    assert u == pytest.approx(0.5, rel=1e-10)
+
+
+def test_vacuum_detected():
+    with pytest.raises(HydroError):
+        riemann_exact(1.0, -10.0, 0.1, 1.0, 10.0, 0.1, GAMMA)
+
+
+def test_nonphysical_input_rejected():
+    with pytest.raises(HydroError):
+        riemann_exact(-1.0, 0.0, 1.0, 1.0, 0.0, 1.0, GAMMA)
+
+
+# --------------------------------------------------------------- sampling
+def test_sample_symmetric_problem_stagnates():
+    """Mirror-symmetric collision: interface state has u = 0."""
+    rho, u, v, p, zeta = sample_riemann(
+        1.0, 1.0, 0.3, 1.0, 0.0,
+        1.0, -1.0, 0.7, 1.0, 1.0, GAMMA)
+    assert abs(u) < 1e-10
+    assert p > 1.0  # compression
+
+
+def test_sample_passive_scalars_follow_contact():
+    # contact moves right (u* > 0): take left zeta/v
+    _, u, v, _, zeta = sample_riemann(
+        1.0, 1.0, 0.25, 1.0, 0.5,
+        1.0, 1.0, 0.75, 1.0, 1.5, GAMMA)
+    assert u > 0
+    assert v == 0.25 and zeta == 0.5
+
+
+def test_sample_supersonic_left_state():
+    """Supersonic rightward flow: interface state is the left state."""
+    rho, u, v, p, zeta = sample_riemann(
+        1.0, 10.0, 0.0, 1.0, 0.1,
+        0.5, 10.0, 0.0, 0.5, 0.9, GAMMA)
+    assert rho == pytest.approx(1.0, rel=1e-8)
+    assert p == pytest.approx(1.0, rel=1e-8)
+    assert zeta == 0.1
+
+
+# ---------------------------------------------------------------- fluxes
+@pytest.mark.parametrize("flux", [godunov_flux, efm_flux])
+def test_flux_consistency_equal_states(flux):
+    """F(W, W) must equal the exact Euler flux of W."""
+    W = EulerState(rho=1.3, u=0.7, v=-0.4, p=2.1, zeta=0.6)
+    prim = tuple(np.array([x]) for x in (W.rho, W.u, W.v, W.p, W.zeta))
+    F = flux(prim, prim, GAMMA)
+    exact = euler_flux_x(W.conserved(GAMMA).reshape(5, 1), GAMMA)
+    np.testing.assert_allclose(F, exact, rtol=1e-7, atol=1e-12)
+
+
+@pytest.mark.parametrize("flux", [godunov_flux, efm_flux])
+def test_flux_upwinds_supersonic(flux):
+    """Fully supersonic rightward flow: flux ~ left-state flux."""
+    L = EulerState(rho=1.0, u=5.0, v=0.0, p=1.0, zeta=1.0)
+    R = EulerState(rho=0.3, u=5.0, v=0.0, p=0.4, zeta=0.0)
+    priml = tuple(np.array([x]) for x in (L.rho, L.u, L.v, L.p, L.zeta))
+    primr = tuple(np.array([x]) for x in (R.rho, R.u, R.v, R.p, R.zeta))
+    F = flux(priml, primr, GAMMA)
+    exact = euler_flux_x(L.conserved(GAMMA).reshape(5, 1), GAMMA)
+    np.testing.assert_allclose(F, exact, rtol=2e-2)
+
+
+def test_efm_more_diffusive_than_godunov_on_contact():
+    """A stationary contact: Godunov keeps it exactly (zero mass flux);
+    EFM's kinetic averaging leaks mass across — the diffusivity the paper
+    trades for robustness at Mach 3.5."""
+    priml = tuple(np.array([x]) for x in (1.0, 0.0, 0.0, 1.0, 1.0))
+    primr = tuple(np.array([x]) for x in (0.25, 0.0, 0.0, 1.0, 0.0))
+    Fg = godunov_flux(priml, primr, GAMMA)
+    Fe = efm_flux(priml, primr, GAMMA)
+    assert abs(Fg[0, 0]) < 1e-12          # exact: no mass flux
+    assert abs(Fe[0, 0]) > 1e-3           # kinetic: diffusive mass flux
+
+
+def test_euler_state_validation():
+    with pytest.raises(HydroError):
+        EulerState(rho=-1.0, u=0.0, v=0.0, p=1.0).conserved(GAMMA)
+    s = EulerState(rho=1.0, u=0.0, v=0.0, p=1.4)
+    assert s.sound_speed(GAMMA) == pytest.approx(1.4)

@@ -1,0 +1,69 @@
+"""Edge-case tests for Euler state handling and wave speeds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HydroError
+from repro.hydro import (
+    EulerState,
+    cons_to_prim,
+    max_wavespeed,
+    prim_to_cons,
+    sound_speed,
+)
+from repro.hydro.state import euler_flux_x
+
+GAMMA = 1.4
+
+
+def test_negative_density_detected():
+    U = prim_to_cons(np.array([1.0]), 0.0, 0.0, np.array([1.0]), 0.0,
+                     GAMMA)
+    U[0, 0] = -0.1
+    with pytest.raises(HydroError, match="density"):
+        cons_to_prim(U, GAMMA)
+
+
+def test_negative_pressure_detected():
+    U = prim_to_cons(np.array([1.0]), 0.0, 0.0, np.array([1.0]), 0.0,
+                     GAMMA)
+    U[3, 0] = 0.0  # energy below kinetic floor
+    with pytest.raises(HydroError, match="pressure"):
+        cons_to_prim(U, GAMMA)
+
+
+def test_check_false_permits_bad_states():
+    U = prim_to_cons(np.array([1.0]), 0.0, 0.0, np.array([1.0]), 0.0,
+                     GAMMA)
+    U[3, 0] = 0.0
+    rho, u, v, p, zeta = cons_to_prim(U, GAMMA, check=False)
+    assert p[0] <= 0.0  # reported, not raised (reconstruction floors it)
+
+
+def test_sound_speed_scaling():
+    assert sound_speed(1.0, 1.4, GAMMA) == pytest.approx(1.4)
+    assert sound_speed(4.0, 1.4, GAMMA) == pytest.approx(0.7)
+
+
+def test_max_wavespeed_includes_both_directions():
+    # fast v, slow u: the y-speed must dominate
+    U = prim_to_cons(np.array([[1.0]]), np.array([[0.1]]),
+                     np.array([[2.0]]), np.array([[1.0]]), 0.0, GAMMA)
+    s = max_wavespeed(U, GAMMA)
+    a = np.sqrt(GAMMA)
+    assert s == pytest.approx(2.0 + a)
+
+
+def test_flux_of_quiescent_gas_is_pressure_only():
+    U = EulerState(2.0, 0.0, 0.0, 3.0, 0.5).conserved(GAMMA).reshape(5, 1)
+    F = euler_flux_x(U, GAMMA)
+    np.testing.assert_allclose(F[[0, 2, 3, 4], 0], 0.0, atol=1e-14)
+    assert F[1, 0] == pytest.approx(3.0)
+
+
+def test_zeta_rides_density():
+    s = EulerState(2.0, 1.0, 0.0, 1.0, zeta=0.25)
+    U = s.conserved(GAMMA)
+    assert U[4] == pytest.approx(0.5)  # rho * zeta
+    rho, u, v, p, zeta = cons_to_prim(U.reshape(5, 1), GAMMA)
+    assert zeta[0] == pytest.approx(0.25)

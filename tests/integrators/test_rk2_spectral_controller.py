@@ -1,0 +1,121 @@
+"""Tests for SSP-RK2, the spectral-radius estimator and step controllers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegratorError
+from repro.integrators import (
+    IController,
+    PIController,
+    estimate_spectral_radius,
+    gershgorin_diffusion,
+    rk2_step,
+    ssp_rk2,
+)
+
+
+# ------------------------------------------------------------------ RK2
+def test_rk2_second_order_convergence():
+    def err(dt):
+        y = ssp_rk2(lambda t, y: -y, 0.0, np.array([1.0]), 1.0, dt)
+        return abs(y[0] - np.exp(-1.0))
+
+    assert 3.0 < err(0.02) / err(0.01) < 5.0
+
+
+def test_rk2_exact_for_linear_in_t():
+    # y' = 2t: RK2 integrates quadratics exactly
+    y = ssp_rk2(lambda t, y: np.array([2.0 * t]), 0.0, np.array([0.0]),
+                2.0, 0.25)
+    assert y[0] == pytest.approx(4.0, rel=1e-12)
+
+
+def test_rk2_step_convex_combination_preserves_bounds():
+    """SSP property on a monotone problem: no overshoot below zero."""
+    y = np.array([1.0])
+    for _ in range(100):
+        y = rk2_step(lambda t, u: -u, 0.0, y, 0.5)
+        assert y[0] >= 0.0
+
+
+def test_rk2_final_step_clipping():
+    y = ssp_rk2(lambda t, y: np.array([1.0]), 0.0, np.array([0.0]),
+                1.0, 0.3)
+    assert y[0] == pytest.approx(1.0, rel=1e-12)
+
+
+# ------------------------------------------------------------- spectral
+def test_spectral_radius_linear_system():
+    A = np.diag([-1.0, -10.0, -100.0])
+
+    rho = estimate_spectral_radius(lambda t, y: A @ y, 0.0,
+                                   np.array([1.0, 1.0, 1.0]))
+    assert 90.0 <= rho <= 140.0  # ~100 with safety factor
+
+
+def test_spectral_radius_zero_field():
+    rho = estimate_spectral_radius(lambda t, y: np.zeros_like(y), 0.0,
+                                   np.ones(4))
+    assert rho == 0.0
+
+
+def test_gershgorin_diffusion_bound():
+    rho = gershgorin_diffusion(2.0, (0.1, 0.1))
+    assert rho == pytest.approx(4 * 2.0 * (100 + 100))
+    with pytest.raises(IntegratorError):
+        gershgorin_diffusion(-1.0, (0.1,))
+
+
+def test_gershgorin_bounds_discrete_laplacian():
+    """The bound must dominate the true spectral radius of the 1-D
+    Laplacian: rho_true = (4D/dx^2) sin^2(...) < 4D/dx^2."""
+    n, dx, D = 32, 0.05, 0.3
+
+    def lap(t, u):
+        out = np.zeros_like(u)
+        out[1:-1] = D * (u[2:] - 2 * u[1:-1] + u[:-2]) / dx**2
+        out[0] = D * (u[1] - 2 * u[0]) / dx**2
+        out[-1] = D * (u[-2] - 2 * u[-1]) / dx**2
+        return out
+
+    rho_est = estimate_spectral_radius(lap, 0.0, np.zeros(n), seed=3)
+    bound = gershgorin_diffusion(D, (dx,))
+    assert rho_est <= 1.3 * bound
+    assert rho_est >= 0.5 * bound  # estimator not wildly low either
+
+
+# ------------------------------------------------------------ controllers
+def test_icontroller_shrinks_on_large_error():
+    c = IController(order=2)
+    assert c.factor(10.0) < 1.0
+    assert c.factor(0.01) > 1.0
+    assert c.accept(0.5) and not c.accept(1.5)
+
+
+def test_icontroller_clamps():
+    c = IController(order=1, min_factor=0.5, max_factor=2.0)
+    assert c.factor(1e6) == 0.5
+    assert c.factor(1e-12) == 2.0
+    assert c.factor(0.0) == 2.0
+
+
+def test_controller_validation():
+    with pytest.raises(IntegratorError):
+        IController(order=0)
+
+
+def test_pi_controller_smoother_than_i():
+    """After an error spike the PI controller reacts less aggressively on
+    the following step."""
+    i_c = IController(order=2)
+    pi_c = PIController(order=2)
+    pi_c.factor(0.9)  # seed history
+    f_i = i_c.factor(0.9)
+    f_pi = pi_c.factor(0.9)
+    assert abs(f_pi - 1.0) <= abs(f_i - 1.0) + 0.05
+
+
+def test_pi_controller_first_step_matches_i():
+    i_c = IController(order=3)
+    pi_c = PIController(order=3)
+    assert pi_c.factor(0.5) == pytest.approx(i_c.factor(0.5))

@@ -1,0 +1,126 @@
+"""Tests for the Runge-Kutta-Chebyshev integrator: order, extended
+stability (the whole point of RKC), stage-count selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegratorError
+from repro.integrators import RKC, rkc_step
+from repro.integrators.rkc import stages_for
+
+
+def test_stages_grow_with_stiffness():
+    assert stages_for(1.0, 10.0) < stages_for(1.0, 1000.0)
+    # beta(s) ~ 0.653 s^2 must cover dt*rho
+    for rho in (10.0, 100.0, 5000.0):
+        s = stages_for(1.0, rho)
+        assert 0.653 * s * s >= rho
+
+
+def test_stages_validation():
+    with pytest.raises(IntegratorError):
+        stages_for(-1.0, 10.0)
+    with pytest.raises(IntegratorError):
+        stages_for(1.0, -10.0)
+    with pytest.raises(IntegratorError):
+        rkc_step(lambda t, y: -y, 0.0, np.ones(1), 0.1, 1.0, stages=1)
+
+
+def test_second_order_convergence():
+    """Error on y' = -y must shrink ~4x when dt halves (order 2)."""
+
+    def solve(dt):
+        y = np.array([1.0])
+        t = 0.0
+        while t < 1.0 - 1e-12:
+            y = rkc_step(lambda tt, yy: -yy, t, y, dt, rho=1.0, stages=4)
+            t += dt
+        return abs(y[0] - np.exp(-1.0))
+
+    e1 = solve(0.1)
+    e2 = solve(0.05)
+    assert 3.0 < e1 / e2 < 5.5
+
+
+def test_stability_far_beyond_forward_euler():
+    """dt * rho = 200: forward Euler explodes (needs dt*rho <= 2); RKC with
+    its stage count stays bounded and accurate."""
+    lam = 2000.0
+    dt = 0.1  # dt*lam = 200
+
+    y = np.array([1.0])
+    s = stages_for(dt, lam)
+    y = rkc_step(lambda t, yy: -lam * yy, 0.0, y, dt, rho=lam, stages=s)
+    assert abs(y[0]) < 1.0  # decays, no blow-up
+
+
+def test_heat_equation_decay_rate():
+    """1-D diffusion with Dirichlet-0 ends: the lowest mode decays as
+    exp(-D (pi/L)^2 t)."""
+    n = 64
+    L = 1.0
+    dx = L / (n + 1)
+    D = 1.0
+    x = np.linspace(dx, L - dx, n)
+    y0 = np.sin(np.pi * x)
+
+    def lap(t, u):
+        out = np.empty_like(u)
+        out[1:-1] = (u[2:] - 2 * u[1:-1] + u[:-2])
+        out[0] = u[1] - 2 * u[0]
+        out[-1] = u[-2] - 2 * u[-1]
+        return D * out / dx**2
+
+    rho = 4.0 * D / dx**2
+    t_end = 0.05
+    solver = RKC(lap, lambda t, y: rho)
+    y = solver.integrate_to(0.0, y0.copy(), t_end, dt=t_end / 10)
+    expected = np.exp(-D * np.pi**2 * t_end) * y0
+    np.testing.assert_allclose(y, expected, atol=2e-3)
+    assert solver.nsteps == 10
+    assert solver.last_stages >= 2
+    assert solver.nfe > solver.nsteps  # multiple stages per step
+
+
+def test_driver_counts_rhs_calls():
+    calls = []
+
+    def f(t, y):
+        calls.append(t)
+        return -y
+
+    solver = RKC(f, lambda t, y: 1.0)
+    solver.advance(0.0, np.ones(2), 0.1)
+    # an s-stage RKC step costs exactly s RHS evaluations
+    assert solver.nfe == len(calls) == solver.last_stages
+
+
+def test_driver_backwards_raises():
+    solver = RKC(lambda t, y: -y, lambda t, y: 1.0)
+    with pytest.raises(IntegratorError):
+        solver.integrate_to(1.0, np.ones(1), 0.0, 0.1)
+
+
+def test_nonlinear_reaction_diffusion_blob():
+    """2-D diffusion of a hot spot: total mass conserved with Neumann-like
+    stencil, peak decreases, field stays positive."""
+    n = 24
+    dx = 1.0 / n
+    u0 = np.zeros((n, n))
+    u0[n // 2 - 2:n // 2 + 2, n // 2 - 2:n // 2 + 2] = 1.0
+
+    def lap(t, u):
+        out = np.zeros_like(u)
+        out[1:-1, 1:-1] = (
+            u[2:, 1:-1] + u[:-2, 1:-1] + u[1:-1, 2:] + u[1:-1, :-2]
+            - 4 * u[1:-1, 1:-1]
+        )
+        # zero-flux edges: reflect
+        out[0, :] += 0.0
+        return 0.01 * out / dx**2
+
+    rho = 16 * 0.01 / dx**2
+    solver = RKC(lambda t, u: lap(t, u), lambda t, u: rho)
+    u = solver.integrate_to(0.0, u0.copy(), 0.1, dt=0.02)
+    assert u.max() < u0.max()
+    assert u.min() > -1e-10

@@ -1,0 +1,68 @@
+"""Property-based tests for the RKC scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.integrators import rkc_step
+from repro.integrators.rkc import stages_for
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(1e-4, 10.0), st.floats(0.1, 1e5))
+def test_stage_count_covers_stability_interval(dt, rho):
+    s = stages_for(dt, rho)
+    assert s >= 2
+    assert 0.653 * s * s >= dt * rho  # beta(s) covers the spectrum
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 30))
+def test_stage_count_inverse(s_target):
+    """Constructing dt so that s stages are just enough yields s (or one
+    more from the safety factor)."""
+    rho = 100.0
+    dt = 0.653 * s_target**2 / rho / 1.05
+    s = stages_for(dt, rho)
+    assert s_target - 1 <= s <= s_target + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 16))
+def test_rkc_exact_for_constant_rhs(s):
+    """y' = c integrates exactly for any stage count (consistency)."""
+    c = np.array([2.5, -1.0])
+    y = rkc_step(lambda t, yy: c, 0.0, np.zeros(2), 0.3, rho=1.0,
+                 stages=s)
+    np.testing.assert_allclose(y, 0.3 * c, rtol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 16))
+def test_rkc_second_order_on_linear_time_rhs(s):
+    """y' = t has solution t^2/2; a second-order scheme is exact."""
+    y = rkc_step(lambda t, yy: np.array([t]), 0.0, np.zeros(1), 1.0,
+                 rho=1.0, stages=s)
+    assert y[0] == pytest.approx(0.5, rel=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 24), st.floats(0.5, 0.95))
+def test_rkc_damps_inside_stability_region(s, frac):
+    """For lambda*dt inside beta(s), |amplification| <= 1 (damped
+    scheme)."""
+    lam = frac * 0.653 * s * s  # dt = 1
+    y = rkc_step(lambda t, yy: -lam * yy, 0.0, np.ones(1), 1.0,
+                 rho=lam, stages=s)
+    assert abs(y[0]) <= 1.0 + 1e-9
+
+
+def test_rkc_unstable_beyond_region_detectable():
+    """Far outside the stability interval with too few stages the step
+    amplifies — confirming the stage-count logic is load-bearing."""
+    lam = 500.0
+    y = np.ones(1)
+    for _ in range(10):
+        y = rkc_step(lambda t, yy: -lam * yy, 0.0, y, 1.0, rho=lam,
+                     stages=3)  # needs ~28 stages
+    assert abs(y[0]) > 1.0

@@ -1,0 +1,62 @@
+"""Direct unit tests for the machine-model cost functions."""
+
+import pytest
+
+from repro.mpi import BEOWULF, CPLANT, LOCALHOST, MachineModel, ZERO_COST
+
+
+def test_send_overhead_less_than_full_flight():
+    m = CPLANT
+    n = 10_000
+    assert 0 < m.send_overhead(n) <= m.p2p_time(n)
+
+
+def test_bcast_and_reduce_scale_with_depth():
+    m = CPLANT
+    n = 4096
+    assert m.bcast_time(8, n) == pytest.approx(3 * m.p2p_time(n))
+    assert m.reduce_time(2, n) >= m.p2p_time(n)
+    assert m.allreduce_time(4, n) == pytest.approx(
+        m.reduce_time(4, n) + m.bcast_time(4, n))
+
+
+def test_gather_linear_in_payload():
+    m = CPLANT
+    t1 = m.gather_time(8, 1000)
+    t2 = m.gather_time(8, 2000)
+    assert t2 > t1
+    # doubling payload roughly doubles the bandwidth term
+    bw_1 = t1 - m._tree_depth(8) * m.latency
+    bw_2 = t2 - m._tree_depth(8) * m.latency
+    assert bw_2 == pytest.approx(2 * bw_1)
+
+
+def test_allgather_and_alltoall_positive():
+    m = BEOWULF
+    assert m.allgather_time(4, 100) > 0
+    assert m.alltoall_time(4, 100) == pytest.approx(3 * m.p2p_time(100))
+    assert m.alltoall_time(1, 100) == 0.0
+
+
+def test_compute_time_scaling():
+    m = MachineModel("slow", 0.0, 1.0, flop_scale=2.5)
+    assert m.compute_time(4.0) == 10.0
+    assert ZERO_COST.compute_time(1.0) == 1.0
+
+
+def test_reduce_flop_cost_term():
+    base = MachineModel("a", 1e-6, 1e9)
+    withg = MachineModel("b", 1e-6, 1e9, reduce_flop_cost=1e-8)
+    assert withg.reduce_time(4, 1000) > base.reduce_time(4, 1000)
+
+
+def test_model_immutability():
+    with pytest.raises(Exception):
+        CPLANT.latency = 0.0  # frozen dataclass
+
+
+def test_preset_names():
+    assert CPLANT.name == "cplant"
+    assert BEOWULF.name == "beowulf"
+    assert LOCALHOST.name == "localhost"
+    assert ZERO_COST.name == "zero-cost"

@@ -1,0 +1,159 @@
+"""Unit + property tests for Box algebra (the geometric foundation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MeshError
+from repro.samr import Box
+
+
+def boxes_2d(max_coord=40, max_len=20):
+    def make(lo0, lo1, n0, n1):
+        return Box((lo0, lo1), (lo0 + n0 - 1, lo1 + n1 - 1))
+
+    return st.builds(
+        make,
+        st.integers(-max_coord, max_coord),
+        st.integers(-max_coord, max_coord),
+        st.integers(1, max_len),
+        st.integers(1, max_len),
+    )
+
+
+# ----------------------------------------------------------------- basics
+def test_shape_size():
+    b = Box((0, 0), (9, 4))
+    assert b.shape == (10, 5)
+    assert b.size == 50
+    assert not b.empty
+    assert b.ndim == 2
+
+
+def test_from_shape():
+    b = Box.from_shape((4, 3), origin=(2, 2))
+    assert b == Box((2, 2), (5, 4))
+    with pytest.raises(MeshError):
+        Box.from_shape((0, 3))
+
+
+def test_empty_box():
+    b = Box((5, 5), (4, 9))
+    assert b.empty and b.size == 0
+
+
+def test_dimension_mismatch_raises():
+    with pytest.raises(MeshError):
+        Box((0, 0), (1,))
+    with pytest.raises(MeshError):
+        Box((0, 0), (3, 3)).intersection(Box((0,), (3,)))
+
+
+def test_contains():
+    b = Box((0, 0), (9, 9))
+    assert b.contains_point((0, 0)) and b.contains_point((9, 9))
+    assert not b.contains_point((10, 0))
+    assert b.contains_box(Box((2, 2), (5, 5)))
+    assert not b.contains_box(Box((2, 2), (10, 5)))
+    # every box contains the empty box
+    assert b.contains_box(Box((3, 3), (2, 2)))
+
+
+def test_intersection_and_bounding():
+    a = Box((0, 0), (5, 5))
+    b = Box((3, 3), (8, 8))
+    assert a.intersection(b) == Box((3, 3), (5, 5))
+    assert a.bounding(b) == Box((0, 0), (8, 8))
+    assert a.intersects(b)
+    assert not a.intersects(Box((6, 6), (7, 7)))
+
+
+def test_grow_shift():
+    b = Box((2, 2), (4, 4))
+    assert b.grow(1) == Box((1, 1), (5, 5))
+    assert b.grow(-1) == Box((3, 3), (3, 3))
+    assert b.grow((1, 0)) == Box((1, 2), (5, 4))
+    assert b.shift((10, -2)) == Box((12, 0), (14, 2))
+
+
+def test_refine_coarsen_roundtrip():
+    b = Box((1, 2), (3, 5))
+    r = b.refine(2)
+    assert r == Box((2, 4), (7, 11))
+    assert r.coarsen(2) == b
+    assert r.size == 4 * b.size
+
+
+def test_coarsen_covers():
+    b = Box((1, 1), (2, 2))
+    c = b.coarsen(2)
+    assert c == Box((0, 0), (1, 1))
+    assert c.refine(2).contains_box(b)
+
+
+def test_refine_bad_ratio():
+    with pytest.raises(MeshError):
+        Box((0, 0), (1, 1)).refine(0)
+    with pytest.raises(MeshError):
+        Box((0, 0), (1, 1)).coarsen(0)
+
+
+def test_slices_default_and_origin():
+    import numpy as np
+
+    b = Box((2, 3), (4, 6))
+    arr = np.zeros((10, 10))
+    arr[b.slices(origin=(0, 0))] = 1
+    assert arr.sum() == b.size
+    assert b.slices() == (slice(0, 3), slice(0, 4))
+
+
+def test_points_iterates_all_cells():
+    b = Box((0, 0), (2, 1))
+    pts = list(b.points())
+    assert len(pts) == b.size
+    assert (0, 0) in pts and (2, 1) in pts
+
+
+def test_points_1d_and_3d():
+    assert list(Box((2,), (4,)).points()) == [(2,), (3,), (4,)]
+    pts3 = list(Box((0, 0, 0), (1, 1, 1)).points())
+    assert len(pts3) == 8
+
+
+# ------------------------------------------------------------ properties
+@given(boxes_2d(), boxes_2d())
+def test_intersection_commutes(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(boxes_2d(), boxes_2d())
+def test_intersection_contained_in_both(a, b):
+    c = a.intersection(b)
+    if not c.empty:
+        assert a.contains_box(c) and b.contains_box(c)
+
+
+@given(boxes_2d())
+def test_intersection_idempotent(a):
+    assert a.intersection(a) == a
+
+
+@given(boxes_2d(), st.integers(2, 4))
+def test_refine_coarsen_identity(a, r):
+    assert a.refine(r).coarsen(r) == a
+
+
+@given(boxes_2d(), st.integers(2, 4))
+def test_coarsen_refine_covers(a, r):
+    assert a.coarsen(r).refine(r).contains_box(a)
+
+
+@given(boxes_2d(), st.integers(0, 3))
+def test_grow_shrink_roundtrip(a, g):
+    assert a.grow(g).grow(-g) == a
+
+
+@given(boxes_2d(), boxes_2d())
+def test_bounding_contains_both(a, b):
+    c = a.bounding(b)
+    assert c.contains_box(a) and c.contains_box(b)

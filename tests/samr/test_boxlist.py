@@ -1,0 +1,97 @@
+"""Tests for box-set algebra (subtract / coalesce / disjointness)."""
+
+from hypothesis import given
+
+from repro.samr import Box, coalesce, intersect_all, subtract
+from repro.samr.boxlist import is_disjoint, subtract_all, total_cells
+from tests.samr.test_box import boxes_2d
+
+
+def cells(boxes):
+    out = set()
+    for b in boxes:
+        out |= set(b.points())
+    return out
+
+
+def test_subtract_disjoint_returns_original():
+    a = Box((0, 0), (3, 3))
+    assert subtract(a, Box((10, 10), (12, 12))) == [a]
+
+
+def test_subtract_full_cover_returns_empty():
+    a = Box((0, 0), (3, 3))
+    assert subtract(a, Box((-1, -1), (4, 4))) == []
+
+
+def test_subtract_center_hole():
+    a = Box((0, 0), (4, 4))
+    hole = Box((2, 2), (2, 2))
+    pieces = subtract(a, hole)
+    assert is_disjoint(pieces)
+    assert total_cells(pieces) == a.size - 1
+    assert cells(pieces) == set(a.points()) - {(2, 2)}
+
+
+def test_subtract_edge():
+    a = Box((0, 0), (3, 3))
+    pieces = subtract(a, Box((0, 0), (3, 1)))
+    assert cells(pieces) == set(Box((0, 2), (3, 3)).points())
+
+
+def test_subtract_all_multiple_cuts():
+    a = Box((0, 0), (5, 5))
+    cuts = [Box((0, 0), (2, 5)), Box((3, 0), (5, 2))]
+    pieces = subtract_all([a], cuts)
+    assert cells(pieces) == set(Box((3, 3), (5, 5)).points())
+
+
+def test_intersect_all_clips_and_drops():
+    region = Box((0, 0), (4, 4))
+    boxes = [Box((2, 2), (8, 8)), Box((9, 9), (10, 10))]
+    out = intersect_all(boxes, region)
+    assert out == [Box((2, 2), (4, 4))]
+
+
+def test_coalesce_merges_adjacent_strips():
+    parts = [Box((0, 0), (1, 3)), Box((2, 0), (4, 3)), Box((5, 0), (5, 3))]
+    merged = coalesce(parts)
+    assert merged == [Box((0, 0), (5, 3))]
+
+
+def test_coalesce_respects_mismatched_cross_sections():
+    parts = [Box((0, 0), (1, 3)), Box((2, 0), (4, 2))]
+    merged = coalesce(parts)
+    assert sorted(merged) == sorted(parts)
+
+
+def test_coalesce_merges_both_axes():
+    quad = [Box((0, 0), (1, 1)), Box((0, 2), (1, 3)),
+            Box((2, 0), (3, 1)), Box((2, 2), (3, 3))]
+    merged = coalesce(quad)
+    assert merged == [Box((0, 0), (3, 3))]
+
+
+# ------------------------------------------------------------ properties
+@given(boxes_2d(max_coord=10, max_len=8), boxes_2d(max_coord=10, max_len=8))
+def test_subtract_partitions_exactly(a, cut):
+    pieces = subtract(a, cut)
+    assert is_disjoint(pieces)
+    assert cells(pieces) == set(a.points()) - set(cut.points())
+
+
+@given(boxes_2d(max_coord=8, max_len=6), boxes_2d(max_coord=8, max_len=6),
+       boxes_2d(max_coord=8, max_len=6))
+def test_subtract_all_removes_all_cut_cells(a, c1, c2):
+    pieces = subtract_all([a], [c1, c2])
+    assert is_disjoint(pieces)
+    assert cells(pieces) == set(a.points()) - set(c1.points()) - set(c2.points())
+
+
+@given(boxes_2d(max_coord=8, max_len=6), boxes_2d(max_coord=8, max_len=6))
+def test_coalesce_preserves_cells(a, cut):
+    pieces = subtract(a, cut)
+    merged = coalesce(pieces)
+    assert is_disjoint(merged)
+    assert cells(merged) == cells(pieces)
+    assert len(merged) <= len(pieces)

@@ -1,0 +1,86 @@
+"""Tests for checkpoint / restart."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.samr import Box, DataObject, Hierarchy
+from repro.samr.checkpoint import load_checkpoint, save_checkpoint
+
+
+def build_state():
+    h = Hierarchy((16, 16), extent=(2.0, 2.0), ratio=2, max_levels=2,
+                  nghost=2, nranks=1)
+    h.build_base_level()
+    h.set_level_boxes(1, [Box((8, 8), (23, 23))])
+    d = DataObject("flow", h, nvar=3, var_names=["T", "u", "v"])
+    rng = np.random.default_rng(7)
+    for p in d.owned_patches():
+        d.array(p)[...] = rng.random(d.array(p).shape)
+    return h, d
+
+
+def test_roundtrip_bit_exact(tmp_path):
+    h, d = build_state()
+    path = save_checkpoint(str(tmp_path / "ck"), h, [d], t=0.125)
+    h2, dataobjs, t = load_checkpoint(path)
+    assert t == 0.125
+    assert h2.nlevels == h.nlevels
+    assert h2.total_cells() == h.total_cells()
+    d2 = dataobjs["flow"]
+    assert d2.var_names == ["T", "u", "v"]
+    for p in h.all_patches():
+        np.testing.assert_array_equal(d2.array(p.id), d.array(p.id))
+
+
+def test_hierarchy_metadata_restored(tmp_path):
+    h, d = build_state()
+    path = save_checkpoint(str(tmp_path / "ck"), h, [d])
+    h2, _, _ = load_checkpoint(path)
+    assert h2.ratio == h.ratio
+    assert h2.origin == h.origin
+    assert h2.extent == h.extent
+    assert h2.dx(1) == h.dx(1)
+    # patch identity allocation continues where it left off
+    assert h2.new_patch_id() == h.new_patch_id()
+
+
+def test_restart_continues_simulation(tmp_path):
+    """A restarted run must continue exactly like the original."""
+    from repro.samr import exchange_ghosts
+
+    h, d = build_state()
+
+    def advance(dobj):
+        for p in dobj.owned_patches():
+            dobj.interior(p)[...] *= 1.5
+        exchange_ghosts(dobj, 0)
+
+    path = save_checkpoint(str(tmp_path / "ck"), h, [d], t=1.0)
+    advance(d)  # original timeline
+
+    h2, objs, t = load_checkpoint(path)
+    d2 = objs["flow"]
+    advance(d2)  # restarted timeline
+    for p in h.all_patches():
+        np.testing.assert_allclose(d2.array(p.id), d.array(p.id),
+                                   rtol=1e-15)
+
+
+def test_rank_sharded_paths(tmp_path):
+    h, d = build_state()
+    path = save_checkpoint(str(tmp_path / "ck"), h, [d], rank=3)
+    assert "rank3" in path
+    h2, objs, _ = load_checkpoint(str(tmp_path / "ck"), rank=3)
+    assert "flow" in objs
+
+
+def test_multiple_dataobjects(tmp_path):
+    h, d = build_state()
+    e = DataObject("aux", h, nvar=1)
+    e.fill(42.0)
+    path = save_checkpoint(str(tmp_path / "ck"), h, [d, e])
+    _, objs, _ = load_checkpoint(path)
+    assert set(objs) == {"flow", "aux"}
+    p0 = next(iter(objs["aux"].owned_patches()))
+    assert np.all(objs["aux"].array(p0) == 42.0)

@@ -1,0 +1,135 @@
+"""Tests for DataObject: allocation, views, reductions, regrid sync."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.samr import Box, DataObject, Hierarchy
+
+
+def make_h(nranks=1, max_levels=2):
+    h = Hierarchy((8, 8), extent=(1.0, 1.0), ratio=2,
+                  max_levels=max_levels, nghost=1, nranks=nranks)
+    h.build_base_level()
+    return h
+
+
+def test_allocation_shapes():
+    h = make_h()
+    d = DataObject("flow", h, nvar=3, var_names=["T", "u", "v"])
+    p = h.level(0).patches[0]
+    assert d.array(p).shape == (3, 10, 10)  # 8+2*1 ghosts
+    assert d.interior(p).shape == (3, 8, 8)
+
+
+def test_var_access_and_names():
+    h = make_h()
+    d = DataObject("flow", h, nvar=2, var_names=["T", "Y"])
+    p = h.level(0).patches[0]
+    d.var(p, 0)[:] = 7.0
+    assert d.array(p)[0].min() == 7.0
+    assert d.var(p, 1, ghost=False).shape == (8, 8)
+    assert d.var_index("Y") == 1
+    with pytest.raises(MeshError):
+        d.var_index("rho")
+    with pytest.raises(MeshError):
+        d.var(p, 5)
+
+
+def test_only_owner_allocates():
+    h = make_h(nranks=2)
+    d0 = DataObject("f", h, nvar=1, rank=0)
+    d1 = DataObject("f", h, nvar=1, rank=1)
+    p0, p1 = h.level(0).patches
+    assert d0.has(p0) and not d0.has(p1)
+    assert d1.has(p1) and not d1.has(p0)
+    with pytest.raises(MeshError):
+        d0.array(p1)
+
+
+def test_fill_copy_clone_axpy_scale():
+    h = make_h()
+    a = DataObject("a", h, nvar=2)
+    b = DataObject("b", h, nvar=2)
+    a.fill(2.0)
+    b.fill(3.0)
+    a.axpy(2.0, b)      # a = 2 + 2*3 = 8
+    a.scale(0.5)        # 4
+    p = h.level(0).patches[0]
+    assert np.all(a.array(p) == 4.0)
+    c = a.clone("c")
+    assert np.all(c.array(p) == 4.0)
+    b.copy_from(a)
+    assert np.all(b.array(p) == 4.0)
+
+
+def test_copy_from_incompatible_raises():
+    h = make_h()
+    a = DataObject("a", h, nvar=2)
+    b = DataObject("b", h, nvar=3)
+    with pytest.raises(MeshError):
+        a.copy_from(b)
+
+
+def test_apply_visits_owned_patches():
+    h = make_h()
+    d = DataObject("d", h, nvar=1)
+    seen = []
+
+    d.apply(lambda p, arr: seen.append(p.id))
+    assert seen == [p.id for p in h.level(0).patches]
+
+
+def test_reductions_interior_only():
+    h = make_h()
+    d = DataObject("d", h, nvar=1)
+    p = h.level(0).patches[0]
+    d.array(p)[:] = 1.0          # ghosts too
+    d.array(p)[0, 0, 0] = 100.0  # a ghost cell: must not count
+    assert d.sum() == 64.0
+    assert d.max_norm() == 1.0
+
+
+def test_reductions_with_comm():
+    from repro.mpi import ZERO_COST, mpirun
+
+    def main(comm):
+        h = make_h(nranks=2)
+        d = DataObject("d", h, nvar=1, rank=comm.rank)
+        for p in d.owned_patches():
+            d.interior(p)[:] = comm.rank + 1.0
+        return d.sum(comm), d.max_norm(comm)
+
+    res = mpirun(2, main, machine=ZERO_COST)
+    # 32 cells at 1.0 + 32 cells at 2.0
+    assert all(r == (96.0, 2.0) for r in res)
+
+
+def test_sync_allocation_after_regrid():
+    h = make_h(max_levels=2)
+    d = DataObject("d", h, nvar=1)
+    n0 = len(d._data)
+    h.set_level_boxes(1, [Box((0, 0), (7, 7))])
+    d.sync_allocation()
+    assert len(d._data) > n0
+    h.drop_levels_above(0)
+    d.sync_allocation()
+    assert len(d._data) == n0
+
+
+def test_sync_allocation_keeps_existing_values():
+    h = make_h(max_levels=2)
+    d = DataObject("d", h, nvar=1)
+    p = h.level(0).patches[0]
+    d.array(p)[:] = 5.0
+    h.set_level_boxes(1, [Box((0, 0), (3, 3))])
+    d.sync_allocation()
+    assert np.all(d.array(p) == 5.0)
+
+
+def test_nvar_validation():
+    h = make_h()
+    with pytest.raises(MeshError):
+        DataObject("bad", h, nvar=0)
+    with pytest.raises(MeshError):
+        DataObject("bad", h, nvar=2, var_names=["only-one"])

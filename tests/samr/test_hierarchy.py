@@ -1,0 +1,180 @@
+"""Tests for Patch / Level / Hierarchy construction and geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.samr import Box, Hierarchy, Level, Patch
+
+
+# ----------------------------------------------------------------- Patch
+def test_patch_geometry():
+    p = Patch(0, Box((4, 4), (7, 9)), level=0, nghost=2)
+    assert p.ghost_box == Box((2, 2), (9, 11))
+    assert p.array_shape == (8, 10)
+    arr = np.zeros(p.array_shape)
+    arr[p.interior_slices()] = 1
+    assert arr.sum() == p.box.size
+    assert arr[0, 0] == 0 and arr[2, 2] == 1
+
+
+def test_patch_slices_for_region():
+    p = Patch(0, Box((4, 4), (7, 7)), level=0, nghost=1)
+    sl = p.slices_for(Box((3, 4), (3, 7)))  # one ghost row below
+    arr = np.zeros(p.array_shape)
+    arr[sl] = 1
+    assert arr[0, 1:5].all() and arr.sum() == 4
+
+
+def test_patch_region_outside_ghosts_raises():
+    p = Patch(0, Box((4, 4), (7, 7)), level=0, nghost=1)
+    with pytest.raises(MeshError):
+        p.slices_for(Box((0, 0), (1, 1)))
+
+
+def test_patch_validation():
+    with pytest.raises(MeshError):
+        Patch(0, Box((2, 2), (1, 1)), level=0)
+    with pytest.raises(MeshError):
+        Patch(0, Box((0, 0), (1, 1)), level=0, nghost=-1)
+
+
+# ----------------------------------------------------------------- Level
+def test_level_rejects_overlap_and_escape():
+    lvl = Level(0, Box((0, 0), (9, 9)), (1.0, 1.0))
+    lvl.add(Patch(0, Box((0, 0), (4, 9)), 0))
+    with pytest.raises(MeshError):
+        lvl.add(Patch(1, Box((4, 0), (9, 9)), 0))  # overlaps column 4
+    with pytest.raises(MeshError):
+        lvl.add(Patch(2, Box((5, 0), (10, 9)), 0))  # escapes domain
+    with pytest.raises(MeshError):
+        lvl.add(Patch(3, Box((5, 0), (9, 9)), 1))  # wrong level number
+
+
+def test_level_coverage_queries():
+    lvl = Level(0, Box((0, 0), (9, 9)), (1.0, 1.0))
+    lvl.add(Patch(0, Box((0, 0), (4, 9)), 0))
+    assert lvl.covers(Box((0, 0), (4, 9)))
+    assert not lvl.covers(Box((0, 0), (9, 9)))
+    assert lvl.covered_fraction(Box((0, 0), (9, 9))) == pytest.approx(0.5)
+    assert lvl.ncells == 50
+
+
+def test_level_owned_and_lookup():
+    lvl = Level(0, Box((0, 0), (9, 9)), (1.0, 1.0))
+    lvl.add(Patch(7, Box((0, 0), (4, 9)), 0, owner=1))
+    assert lvl.patch_by_id(7).owner == 1
+    assert [p.id for p in lvl.owned(1)] == [7]
+    assert lvl.owned(0) == []
+    with pytest.raises(MeshError):
+        lvl.patch_by_id(99)
+
+
+# ------------------------------------------------------------- Hierarchy
+def make_h(nranks=1, max_levels=3, shape=(16, 16)):
+    h = Hierarchy(shape, origin=(0.0, 0.0), extent=(1.0, 1.0),
+                  ratio=2, max_levels=max_levels, nghost=2, nranks=nranks)
+    h.build_base_level()
+    return h
+
+
+def test_base_level_tiles_domain():
+    h = make_h(nranks=4)
+    lvl = h.level(0)
+    assert len(lvl.patches) == 4
+    assert lvl.ncells == 256
+    owners = {p.owner for p in lvl.patches}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_base_level_twice_raises():
+    h = make_h()
+    with pytest.raises(MeshError):
+        h.build_base_level()
+
+
+def test_dx_and_domain_at():
+    h = make_h()
+    assert h.dx(0) == (1 / 16, 1 / 16)
+    assert h.dx(1) == (1 / 32, 1 / 32)
+    assert h.domain_at(1) == Box((0, 0), (31, 31))
+
+
+def test_cell_centers():
+    h = make_h()
+    p = h.level(0).patches[0]
+    x, y = h.level(0).cell_centers(p, h.origin)
+    assert x[0] == pytest.approx(0.5 / 16)
+    assert len(x) == p.box.shape[0]
+    xg, _ = h.level(0).cell_centers(p, h.origin, ghost=True)
+    assert len(xg) == p.box.shape[0] + 2 * p.nghost
+
+
+def test_set_level_boxes_nests_and_assigns_parents():
+    h = make_h(max_levels=2)
+    fine = h.set_level_boxes(1, [Box((4, 4), (19, 19))])
+    assert h.nlevels == 2
+    assert fine.ncells == 16 * 16
+    for p in fine.patches:
+        assert p.parent != -1
+        assert h.domain_at(1).contains_box(p.box)
+
+
+def test_set_level_boxes_clips_to_domain():
+    h = make_h(max_levels=2)
+    fine = h.set_level_boxes(1, [Box((-10, -10), (5, 5))])
+    assert all(h.domain_at(1).contains_box(p.box) for p in fine.patches)
+
+
+def test_set_level_respects_max_levels():
+    h = make_h(max_levels=1)
+    with pytest.raises(MeshError):
+        h.set_level_boxes(1, [Box((0, 0), (3, 3))])
+
+
+def test_set_level_requires_coarser_level():
+    h = make_h(max_levels=3)
+    with pytest.raises(MeshError):
+        h.set_level_boxes(2, [Box((0, 0), (3, 3))])
+
+
+def test_proper_nesting_under_partial_coarse_coverage():
+    h = make_h(max_levels=3)
+    h.set_level_boxes(1, [Box((0, 0), (15, 15))])  # quarter of the domain
+    lvl2 = h.set_level_boxes(2, [Box((0, 0), (63, 63))])  # wants everything
+    # must be clipped to the refinement of level 1's patches
+    covered = Box((0, 0), (31, 31))
+    for p in lvl2.patches:
+        assert covered.contains_box(p.box)
+
+
+def test_drop_levels_above():
+    h = make_h(max_levels=3)
+    h.set_level_boxes(1, [Box((0, 0), (15, 15))])
+    h.set_level_boxes(2, [Box((0, 0), (15, 15))])
+    h.drop_levels_above(0)
+    assert h.nlevels == 1
+
+
+def test_patch_ids_unique_across_levels():
+    h = make_h(nranks=2, max_levels=2)
+    h.set_level_boxes(1, [Box((0, 0), (15, 15)), Box((16, 16), (31, 31))])
+    ids = [p.id for p in h.all_patches()]
+    assert len(ids) == len(set(ids))
+    assert h.patch_by_id(ids[-1]).id == ids[-1]
+
+
+def test_total_cells():
+    h = make_h(max_levels=2)
+    base = h.total_cells()
+    h.set_level_boxes(1, [Box((0, 0), (15, 15))])
+    assert h.total_cells() == base + 256
+
+
+def test_bad_construction_args():
+    with pytest.raises(MeshError):
+        Hierarchy((16, 16), ratio=1)
+    with pytest.raises(MeshError):
+        Hierarchy((16, 16), max_levels=0)
+    with pytest.raises(MeshError):
+        Hierarchy((16, 16), origin=(0.0,))

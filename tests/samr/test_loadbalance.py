@@ -1,0 +1,103 @@
+"""Tests for domain decomposition / load balancing strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeshError
+from repro.samr import Box, balance_greedy, balance_sfc
+from repro.samr.loadbalance import load_imbalance
+
+
+def grid_boxes(n, size=8):
+    """n x n grid of size x size boxes."""
+    return [
+        Box((i * size, j * size), ((i + 1) * size - 1, (j + 1) * size - 1))
+        for i in range(n)
+        for j in range(n)
+    ]
+
+
+def test_greedy_all_ranks_used():
+    boxes = grid_boxes(4)
+    owners = balance_greedy(boxes, 4)
+    assert set(owners) == {0, 1, 2, 3}
+    assert load_imbalance(boxes, owners, 4) == pytest.approx(1.0)
+
+
+def test_greedy_single_rank():
+    boxes = grid_boxes(2)
+    assert balance_greedy(boxes, 1) == [0, 0, 0, 0]
+
+
+def test_greedy_weights_override_sizes():
+    boxes = [Box((0, 0), (0, 0))] * 4
+    owners = balance_greedy(boxes, 2, weights=[100.0, 1.0, 1.0, 98.0])
+    # the two heavy boxes must land on different ranks
+    assert owners[0] != owners[3]
+
+
+def test_greedy_imbalance_bounded():
+    boxes = grid_boxes(5)  # 25 equal boxes on 4 ranks
+    owners = balance_greedy(boxes, 4)
+    assert load_imbalance(boxes, owners, 4) < 1.2
+
+
+def test_sfc_contiguity_keeps_neighbors_together():
+    boxes = grid_boxes(4)
+    owners = balance_sfc(boxes, 2)
+    assert set(owners) == {0, 1}
+    # SFC keeps each rank's share spatially compact: measure the bounding
+    # box area per rank vs its cell count (compactness ratio)
+    for rank in range(2):
+        mine = [b for b, o in zip(boxes, owners) if o == rank]
+        bound = mine[0]
+        for b in mine[1:]:
+            bound = bound.bounding(b)
+        assert sum(b.size for b in mine) >= 0.45 * bound.size
+
+
+def test_sfc_balances_cells():
+    boxes = grid_boxes(4)
+    owners = balance_sfc(boxes, 4)
+    assert load_imbalance(boxes, owners, 4) < 1.5
+
+
+def test_sfc_empty_input():
+    assert balance_sfc([], 4) == []
+
+
+def test_validation():
+    with pytest.raises(MeshError):
+        balance_greedy([Box((0, 0), (1, 1))], 0)
+    with pytest.raises(MeshError):
+        balance_sfc([Box((0, 0), (1, 1))], 0)
+    with pytest.raises(MeshError):
+        balance_greedy([Box((0, 0), (1, 1))], 2, weights=[1.0, 2.0])
+    with pytest.raises(MeshError):
+        balance_sfc([Box((0, 0), (1, 1))], 2, weights=[1.0, 2.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30),
+                  st.integers(1, 6), st.integers(1, 6)),
+        min_size=1, max_size=30),
+    st.integers(1, 6),
+)
+def test_every_box_gets_a_valid_owner(specs, nranks):
+    boxes = [Box((i, j), (i + w - 1, j + h - 1)) for i, j, w, h in specs]
+    for strategy in (balance_greedy, balance_sfc):
+        owners = strategy(boxes, nranks)
+        assert len(owners) == len(boxes)
+        assert all(0 <= o < nranks for o in owners)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6))
+def test_greedy_beats_worst_case(nranks):
+    """LPT guarantees max load <= (4/3 - 1/(3m)) * optimal; check a loose
+    version of that bound on equal boxes."""
+    boxes = grid_boxes(6)  # 36 equal boxes
+    owners = balance_greedy(boxes, nranks)
+    assert load_imbalance(boxes, owners, nranks) <= 4 / 3 + 1e-9

@@ -1,0 +1,176 @@
+"""Tests for the regridding cycle: flag -> cluster -> rebuild -> transfer."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ZERO_COST, mpirun
+from repro.samr import (
+    Box,
+    DataObject,
+    Hierarchy,
+    exchange_ghosts,
+    flag_gradient,
+    regrid,
+)
+
+
+def build(max_levels=2, nranks=1, n=16):
+    h = Hierarchy((n, n), extent=(1.0, 1.0), ratio=2,
+                  max_levels=max_levels, nghost=2, nranks=nranks)
+    h.build_base_level()
+    return h
+
+
+def gaussian_bump(h, d, x0=0.5, y0=0.5, width=0.05):
+    for p in d.owned_patches():
+        lvl = h.level(p.level)
+        x, y = lvl.cell_centers(p, h.origin, ghost=True)
+        r2 = (x[:, None] - x0) ** 2 + (y[None, :] - y0) ** 2
+        d.array(p)[0] = np.exp(-r2 / width**2)
+
+
+def flagger(d, comm=None):
+    def fn(level):
+        exchange_ghosts(d, level, comm=comm)
+        return flag_gradient(d, level, threshold=0.2, relative=True,
+                             comm=comm)
+
+    return fn
+
+
+def test_regrid_creates_fine_level_over_feature():
+    h = build()
+    d = DataObject("f", h, nvar=1)
+    gaussian_bump(h, d)
+    regrid(h, [d], flagger(d), max_size=16)
+    assert h.nlevels == 2
+    fine = h.level(1)
+    assert fine.patches
+    # the fine level must cover the bump center
+    center = (16, 16)  # cell (0.5, 0.5) at level 1 (32x32 index space)
+    assert any(p.box.contains_point(center) for p in fine.patches)
+
+
+def test_regrid_seeds_fine_data_from_coarse():
+    h = build()
+    d = DataObject("f", h, nvar=1)
+    gaussian_bump(h, d)
+    regrid(h, [d], flagger(d), max_size=16)
+    for p in d.owned_patches(1):
+        vals = d.interior(p)
+        assert np.isfinite(vals).all()
+        assert vals.max() > 0.3  # data actually prolonged, not zeros
+
+
+def test_regrid_flat_field_drops_fine_levels():
+    h = build()
+    d = DataObject("f", h, nvar=1)
+    gaussian_bump(h, d)
+    regrid(h, [d], flagger(d), max_size=16)
+    assert h.nlevels == 2
+    d.fill(1.0)  # feature gone
+    regrid(h, [d], flagger(d), max_size=16)
+    assert h.nlevels == 1
+    # fine-level storage must have been freed
+    assert all(p.level == 0 for p in d.owned_patches())
+
+
+def test_regrid_moving_feature_follows():
+    h = build()
+    d = DataObject("f", h, nvar=1)
+    gaussian_bump(h, d, x0=0.25, y0=0.25)
+    regrid(h, [d], flagger(d), max_size=16)
+    old_boxes = [p.box for p in h.level(1).patches]
+    gaussian_bump(h, d, x0=0.75, y0=0.75)
+    regrid(h, [d], flagger(d), max_size=16)
+    new_boxes = [p.box for p in h.level(1).patches]
+    # bump center x=0.75 -> level-1 cell 24 (32x32 level-1 index space)
+    assert any(b.contains_point((24, 24)) for b in new_boxes)
+    assert old_boxes != new_boxes
+
+
+def test_regrid_preserves_same_resolution_data():
+    """Old fine data overlapping new fine patches must survive verbatim
+    (not be replaced by prolonged coarse data)."""
+    h = build()
+    d = DataObject("f", h, nvar=1)
+    gaussian_bump(h, d)
+    regrid(h, [d], flagger(d), max_size=16)
+    # stamp a recognizable fine-only value in the bump core
+    marker = 123.456
+    for p in d.owned_patches(1):
+        if p.box.contains_point((16, 16)):
+            sl = d.interior(p)
+            sl[:, sl.shape[1] // 2, sl.shape[2] // 2] = marker
+    regrid(h, [d], flagger(d), max_size=16)
+    found = any(
+        np.any(d.interior(p) == marker) for p in d.owned_patches(1))
+    assert found
+
+
+def test_regrid_three_levels_nested():
+    h = build(max_levels=3, n=32)
+    d = DataObject("f", h, nvar=1)
+    gaussian_bump(h, d, width=0.02)
+    regrid(h, [d], flagger(d), max_size=16)
+    if h.nlevels == 3:
+        # proper nesting: every L2 patch under refined L1 boxes
+        l1_boxes = [p.box.refine(2) for p in h.level(1).patches]
+        from repro.samr.boxlist import subtract_all
+
+        for p in h.level(2).patches:
+            assert not subtract_all([p.box], l1_boxes)
+
+
+def test_regrid_parallel_consistent_metadata():
+    """All ranks must agree on the new hierarchy structure."""
+
+    def main(comm):
+        h = build(nranks=comm.size)
+        d = DataObject("f", h, nvar=1, rank=comm.rank)
+        gaussian_bump(h, d)
+        regrid(h, [d], flagger(d, comm), comm=comm, max_size=16)
+        return [(p.id, p.box.lo, p.box.hi, p.owner)
+                for p in h.all_patches()]
+
+    res = mpirun(2, main, machine=ZERO_COST)
+    assert res[0] == res[1]
+    assert len(res[0]) > 2  # fine level exists
+
+
+def dense_level1(h, chunks):
+    """Assemble {box: interior-array} chunks into one dense level-1 field
+    (NaN where uncovered)."""
+    domain = h.domain_at(1)
+    dense = np.full(domain.shape, np.nan)
+    for box, arr in chunks:
+        dense[box.slices(origin=domain.lo)] = arr[0]
+    return dense
+
+
+def test_regrid_parallel_data_matches_serial():
+    """Patch ids/splits differ with the rank count, but the assembled
+    level-1 field must be identical wherever both cover."""
+
+    def main(comm):
+        h = build(nranks=comm.size)
+        d = DataObject("f", h, nvar=1, rank=comm.rank)
+        gaussian_bump(h, d)
+        regrid(h, [d], flagger(d, comm), comm=comm, max_size=16)
+        return [(p.box, d.interior(p).copy()) for p in d.owned_patches(1)]
+
+    par_chunks = []
+    for chunk in mpirun(2, main, machine=ZERO_COST):
+        par_chunks.extend(chunk)
+
+    h = build(nranks=1)
+    d = DataObject("f", h, nvar=1)
+    gaussian_bump(h, d)
+    regrid(h, [d], flagger(d), max_size=16)
+    ser_chunks = [(p.box, d.interior(p).copy()) for p in d.owned_patches(1)]
+
+    par = dense_level1(h, par_chunks)
+    ser = dense_level1(h, ser_chunks)
+    both = ~np.isnan(par) & ~np.isnan(ser)
+    assert both.sum() > 100  # substantial common refined region
+    np.testing.assert_allclose(par[both], ser[both], rtol=1e-12)

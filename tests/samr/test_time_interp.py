@@ -1,0 +1,58 @@
+"""Tests for temporal interpolation (Interpolation subsystem)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeshError
+from repro.samr.time_interp import TimeInterpolant, time_interpolate
+
+
+def test_endpoints_exact():
+    a, b = np.zeros((2, 2)), np.ones((2, 2))
+    np.testing.assert_array_equal(time_interpolate(0.0, 0.0, a, 1.0, b), a)
+    np.testing.assert_array_equal(time_interpolate(1.0, 0.0, a, 1.0, b), b)
+
+
+def test_midpoint():
+    a, b = np.full(3, 2.0), np.full(3, 4.0)
+    np.testing.assert_allclose(
+        time_interpolate(0.5, 0.0, a, 1.0, b), 3.0)
+
+
+def test_validation():
+    a = np.zeros(2)
+    with pytest.raises(MeshError):
+        time_interpolate(0.5, 1.0, a, 0.0, a)     # reversed window
+    with pytest.raises(MeshError):
+        time_interpolate(2.0, 0.0, a, 1.0, a)     # outside window
+    with pytest.raises(MeshError):
+        time_interpolate(0.5, 0.0, a, 1.0, np.zeros(3))  # shape
+
+
+@settings(max_examples=30)
+@given(st.floats(0.0, 1.0))
+def test_linear_exactness(theta):
+    """Linear-in-time fields are reproduced exactly."""
+    a = np.array([1.0, -2.0])
+    b = np.array([3.0, 6.0])
+    got = time_interpolate(theta, 0.0, a, 1.0, b)
+    np.testing.assert_allclose(got, (1 - theta) * a + theta * b)
+
+
+def test_interpolant_window_and_advance():
+    ti = TimeInterpolant(0.0, np.zeros(2), 1.0, np.full(2, 2.0))
+    np.testing.assert_allclose(ti.at(0.25), 0.5)
+    ti.advance(2.0, np.full(2, 6.0))
+    np.testing.assert_allclose(ti.at(1.5), 4.0)   # between 2.0 and 6.0
+    with pytest.raises(MeshError):
+        ti.advance(1.5, np.zeros(2))               # backwards
+    with pytest.raises(MeshError):
+        TimeInterpolant(1.0, np.zeros(2), 1.0, np.zeros(2))
+
+
+def test_interpolant_copies_inputs():
+    src = np.zeros(2)
+    ti = TimeInterpolant(0.0, src, 1.0, np.ones(2))
+    src[:] = 99.0
+    np.testing.assert_allclose(ti.at(0.0), 0.0)

@@ -1,0 +1,124 @@
+"""Tests for prolongation / restriction operators: shape, conservation,
+monotonicity, exactness on linear fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeshError
+from repro.samr import prolong_bilinear, prolong_constant, restrict_average
+
+
+# ------------------------------------------------------------- constant
+def test_prolong_constant_repeats_blocks():
+    c = np.array([[1.0, 2.0], [3.0, 4.0]])
+    f = prolong_constant(c, 2)
+    assert f.shape == (4, 4)
+    assert np.all(f[:2, :2] == 1.0) and np.all(f[2:, 2:] == 4.0)
+
+
+def test_prolong_constant_leading_axis():
+    c = np.random.default_rng(0).random((3, 2, 2))
+    f = prolong_constant(c, 3)
+    assert f.shape == (3, 6, 6)
+    assert np.all(f[1, :3, :3] == c[1, 0, 0])
+
+
+def test_prolong_constant_conserves_mean():
+    rng = np.random.default_rng(1)
+    c = rng.random((5, 7))
+    f = prolong_constant(c, 4)
+    assert f.mean() == pytest.approx(c.mean())
+
+
+# ------------------------------------------------------------- bilinear
+def test_prolong_bilinear_needs_ghost_ring():
+    with pytest.raises(MeshError):
+        prolong_bilinear(np.zeros((2, 2)), 2)
+
+
+def test_prolong_bilinear_shape():
+    c = np.zeros((6, 5))
+    f = prolong_bilinear(c, 2)
+    assert f.shape == (8, 6)
+
+
+def test_prolong_bilinear_exact_on_linear_field():
+    """A linear profile must be reproduced exactly (2nd-order operator)."""
+    x = np.arange(8, dtype=float)
+    y = np.arange(7, dtype=float)
+    c = 2.0 * x[:, None] + 3.0 * y[None, :]
+    f = prolong_bilinear(c, 2, limited=True)
+    # fine cell centers in coarse index units
+    xf = 1.0 + (np.arange(12) + 0.5) / 2 - 0.5
+    yf = 1.0 + (np.arange(10) + 0.5) / 2 - 0.5
+    expect = 2.0 * xf[:, None] + 3.0 * yf[None, :]
+    np.testing.assert_allclose(f, expect, rtol=1e-13)
+
+
+def test_prolong_bilinear_conserves_block_means():
+    rng = np.random.default_rng(2)
+    c = rng.random((6, 6))
+    f = prolong_bilinear(c, 2)
+    back = restrict_average(f, 2)
+    np.testing.assert_allclose(back, c[1:-1, 1:-1], rtol=1e-12)
+
+
+def test_prolong_bilinear_monotone_no_new_extrema():
+    """With limiting, fine values stay inside the local coarse range."""
+    rng = np.random.default_rng(3)
+    c = rng.random((8, 8))
+    f = prolong_bilinear(c, 2, limited=True)
+    assert f.max() <= c.max() + 1e-12
+    assert f.min() >= c.min() - 1e-12
+
+
+def test_prolong_bilinear_ratio_one_is_identity():
+    c = np.random.default_rng(4).random((5, 5))
+    np.testing.assert_array_equal(prolong_bilinear(c, 1), c[1:-1, 1:-1])
+
+
+def test_prolong_bilinear_leading_axes():
+    c = np.random.default_rng(5).random((4, 6, 6))
+    f = prolong_bilinear(c, 2)
+    assert f.shape == (4, 8, 8)
+    single = prolong_bilinear(c[2], 2)
+    np.testing.assert_allclose(f[2], single)
+
+
+# ------------------------------------------------------------- restrict
+def test_restrict_average_blocks():
+    f = np.array([[1.0, 2.0], [3.0, 4.0]])
+    c = restrict_average(f, 2)
+    assert c.shape == (1, 1)
+    assert c[0, 0] == pytest.approx(2.5)
+
+
+def test_restrict_requires_divisible_shape():
+    with pytest.raises(MeshError):
+        restrict_average(np.zeros((3, 4)), 2)
+
+
+def test_restrict_ratio_one_identity():
+    f = np.random.default_rng(6).random((4, 4))
+    np.testing.assert_array_equal(restrict_average(f, 1), f)
+
+
+@settings(max_examples=25)
+@given(st.integers(2, 4), st.integers(1, 4), st.integers(1, 4))
+def test_restrict_conserves_integral(ratio, nx, ny):
+    rng = np.random.default_rng(nx * 10 + ny)
+    f = rng.random((nx * ratio, ny * ratio))
+    c = restrict_average(f, ratio)
+    assert c.sum() * ratio**2 == pytest.approx(f.sum())
+
+
+@settings(max_examples=25)
+@given(st.integers(2, 3), st.integers(3, 6), st.integers(3, 6))
+def test_prolong_then_restrict_is_identity_on_interior(ratio, nx, ny):
+    """Conservation: restriction undoes (limited) bilinear prolongation."""
+    rng = np.random.default_rng(ratio * 100 + nx * 10 + ny)
+    c = rng.random((nx, ny))
+    f = prolong_bilinear(c, ratio)
+    back = restrict_average(f, ratio)
+    np.testing.assert_allclose(back, c[1:-1, 1:-1], rtol=1e-12, atol=1e-12)

@@ -1,0 +1,43 @@
+"""Tests for rank-tagged logging."""
+
+import logging
+
+from repro.util import get_logger
+from repro.util.logging import get_rank, set_rank
+
+
+def test_logger_namespace():
+    log = get_logger("samr.ghost")
+    assert log.name == "repro.samr.ghost"
+    log2 = get_logger("repro.mpi")
+    assert log2.name == "repro.mpi"
+
+
+def test_rank_tagging_thread_local():
+    import threading
+
+    seen = {}
+
+    def worker(rank):
+        set_rank(rank)
+        seen[rank] = get_rank()
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in (1, 2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert seen == {1: 1, 2: 2}
+    assert get_rank() is None  # main thread untouched
+
+
+def test_log_record_carries_rank(caplog):
+    log = get_logger("test.rank")
+    set_rank(7)
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            log.warning("hello")
+        assert caplog.records
+        assert caplog.records[-1].rank == "[rank 7]"
+    finally:
+        set_rank(None)

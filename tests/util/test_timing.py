@@ -1,0 +1,50 @@
+"""Tests for stopwatch/CPU timers used by the virtual-time machinery."""
+
+import pytest
+
+from repro.util import Stopwatch, ThreadCpuTimer
+
+
+def test_stopwatch_accumulates():
+    sw = Stopwatch()
+    with sw:
+        pass
+    first = sw.elapsed
+    with sw:
+        sum(range(1000))
+    assert sw.elapsed >= first >= 0.0
+
+
+def test_stopwatch_double_start_raises():
+    sw = Stopwatch().start()
+    with pytest.raises(RuntimeError):
+        sw.start()
+    sw.stop()
+    with pytest.raises(RuntimeError):
+        sw.stop()
+
+
+def test_stopwatch_reset():
+    sw = Stopwatch()
+    with sw:
+        pass
+    sw.reset()
+    assert sw.elapsed == 0.0 and not sw.running
+
+
+def test_thread_cpu_timer_counts_own_work():
+    t = ThreadCpuTimer()
+    with t:
+        x = 0
+        for i in range(200_000):
+            x += i
+    assert t.elapsed > 0.0
+
+
+def test_thread_cpu_timer_misuse_raises():
+    t = ThreadCpuTimer()
+    with pytest.raises(RuntimeError):
+        t.stop()
+    t.start()
+    with pytest.raises(RuntimeError):
+        t.start()
