@@ -5,13 +5,24 @@ workload differ by at most ~1.5% with no systematic trend — port
 indirection does not hurt serial performance.
 """
 
-from repro.bench import run_table4, save_report
+from repro.bench import run_table4, save_json, save_report
 
 
 def test_table4_component_overhead(benchmark):
     result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
     path = save_report("table4_overhead", result["report"])
+    json_path = save_json("table4_overhead", {
+        "table": "table4",
+        "max_abs_pct": result["max_abs_pct"],
+        "rows": [
+            {"dt_label": r.dt_label, "n_cells": r.n_cells, "nfe": r.nfe,
+             "t_component": r.t_component, "t_library": r.t_library,
+             "pct_diff": r.pct_diff}
+            for r in result["rows"]
+        ],
+    })
     benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     benchmark.extra_info["max_abs_pct"] = result["max_abs_pct"]
     rows = result["rows"]
     assert len(rows) >= 4

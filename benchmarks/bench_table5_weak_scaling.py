@@ -6,13 +6,23 @@ the mean — no jumps as the job spreads), and run times scale with the
 per-processor problem size.
 """
 
-from repro.bench import run_table5, save_report
+from repro.bench import run_table5, save_json, save_report
 
 
 def test_table5_weak_scaling_statistics(benchmark):
     result = benchmark.pedantic(run_table5, rounds=1, iterations=1)
     path = save_report("table5_weak_scaling", result["report"])
+    json_path = save_json("table5_weak_scaling", {
+        "table": "table5",
+        "results": [
+            {"n_local": r.n_local, "procs": r.procs, "times": r.times,
+             "mean": r.mean, "median": r.median, "stdev": r.stdev}
+            for r in result["results"]
+        ],
+        "ratios": [list(row) for row in result["ratios"]],
+    })
     benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     results = result["results"]
     # homogeneity: stdev well below the mean for every size
     for r in results:

@@ -18,7 +18,7 @@ series the paper reports via :mod:`repro.bench.reporting`.  ``REPRO_FAST``
 shapes under comparison are preserved.
 """
 
-from repro.bench.reporting import format_table, save_report
+from repro.bench.reporting import format_table, save_json, save_report
 from repro.bench.overhead import run_table4
 from repro.bench.scaling import run_table5, run_fig8, run_fig9
 from repro.bench.shock import run_fig6, run_fig7
@@ -26,6 +26,7 @@ from repro.bench.flame import run_fig3_fig4
 
 __all__ = [
     "format_table",
+    "save_json",
     "save_report",
     "run_table4",
     "run_table5",

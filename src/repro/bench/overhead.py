@@ -32,6 +32,7 @@ from repro.chemistry.h2_lite import h2_lite_mechanism
 from repro.chemistry.h2_air import stoichiometric_h2_air
 from repro.chemistry.zerod import ConstantVolumeReactor
 from repro.integrators.cvode import CVode
+from repro.util.timing import Stopwatch
 from repro.bench.reporting import format_table
 from repro.util.options import fast_mode
 
@@ -111,21 +112,20 @@ def _timed_interleaved(comp: _ComponentCase, lib: _LibraryCase,
                        ) -> tuple[float, float]:
     """Time both variants in interleaved blocks (CPU time, so background
     load and timer drift affect both paths equally)."""
-    t_comp = t_lib = 0.0
+    sw_comp = Stopwatch(clock=time.process_time)
+    sw_lib = Stopwatch(clock=time.process_time)
     block = max(1, n_cells // n_blocks)
     done = 0
     while done < n_cells:
         n = min(block, n_cells - done)
-        start = time.process_time()
-        for _ in range(n):
-            comp.integrate_cell()
-        t_comp += time.process_time() - start
-        start = time.process_time()
-        for _ in range(n):
-            lib.integrate_cell()
-        t_lib += time.process_time() - start
+        with sw_comp:
+            for _ in range(n):
+                comp.integrate_cell()
+        with sw_lib:
+            for _ in range(n):
+                lib.integrate_cell()
         done += n
-    return t_comp, t_lib
+    return sw_comp.elapsed, sw_lib.elapsed
 
 
 def run_table4(fast: bool | None = None) -> dict:

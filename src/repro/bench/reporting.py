@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Any, Sequence
+
+#: Version tag stamped into every machine-readable bench artifact.
+RESULTS_SCHEMA = 1
 
 
 def format_table(headers: Sequence[str],
@@ -41,4 +45,35 @@ def save_report(name: str, text: str, directory: str | None = None) -> str:
     path = os.path.join(directory, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text.rstrip() + "\n")
+    return path
+
+
+def _json_default(obj: Any) -> Any:
+    """Serialize numpy scalars/arrays and other objects JSON can't."""
+    if hasattr(obj, "tolist"):     # numpy array or scalar
+        return obj.tolist()
+    if hasattr(obj, "item"):       # other 0-d array-likes
+        return obj.item()
+    return str(obj)
+
+
+def save_json(name: str, payload: dict[str, Any],
+              directory: str | None = None) -> str:
+    """Machine-readable companion to :func:`save_report`.
+
+    Writes ``bench_results/<name>.json`` (same directory resolution as
+    :func:`save_report`, including ``REPRO_BENCH_DIR``) with a
+    ``"schema"`` version key injected so downstream tooling can detect
+    layout changes.  Returns the path.
+    """
+    if directory is None:
+        directory = os.environ.get(
+            "REPRO_BENCH_DIR",
+            os.path.join(os.getcwd(), "bench_results"))
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    doc = {"schema": RESULTS_SCHEMA, **payload}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, default=_json_default)
+        fh.write("\n")
     return path

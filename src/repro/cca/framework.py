@@ -14,6 +14,7 @@ from repro.cca.component import Component
 from repro.cca.port import Port
 from repro.cca.services import Services
 from repro.errors import CCAError, PortTypeError
+from repro.obs import trace as _trace
 from repro.util.logging import get_logger
 
 _log = get_logger("cca.framework")
@@ -172,6 +173,9 @@ class Framework:
         if go is None:
             raise PortTypeError(
                 f"{instance_name}.{port_name} [{ptype}] has no go() method")
+        if _trace.on:
+            with _trace.span(f"cca.go:{instance_name}", cat="cca"):
+                return go()
         return go()
 
     # -- introspection ------------------------------------------------------------

@@ -1,0 +1,68 @@
+"""Transparent port proxy: the one place port calls are observed.
+
+A :class:`TracingPortProxy` wraps a provides-port object and forwards
+every attribute access.  Method calls are:
+
+* traced as ``"provider:port.method"`` spans (category ``"port"``) when
+  :mod:`repro.obs.trace` is enabled, and
+* reported to an optional *recorder* (duck-typed ``begin(key) -> token``
+  / ``end(key, token)``) — :class:`repro.cca.profiling.Profiler` uses
+  this to account per-method CPU self-time in its metrics registry.
+
+Both :func:`repro.cca.profiling.instrument` (explicit TAU-style
+profiling) and :meth:`repro.cca.services.Services.get_port` (automatic
+wrapping while tracing is on) hand out this class, so a port is never
+double-wrapped: whoever sees a proxy passes it through unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cca.port import Port
+from repro.errors import CCAError
+from repro.obs import trace as _trace
+
+
+class TracingPortProxy(Port):
+    """Recording wrapper around a provides-port object."""
+
+    def __init__(self, target: Port, label: str,
+                 recorder: Any | None = None) -> None:
+        # bypass our own __setattr__/__getattr__ plumbing
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_label", label)
+        object.__setattr__(self, "_recorder", recorder)
+
+    @classmethod
+    def port_type(cls):  # pragma: no cover - proxies are created wired
+        raise CCAError("proxy has no static port type")
+
+    def __getattr__(self, name: str) -> Any:
+        value = getattr(object.__getattribute__(self, "_target"), name)
+        if not callable(value):
+            return value
+        label: str = object.__getattribute__(self, "_label")
+        recorder = object.__getattribute__(self, "_recorder")
+        key = f"{label}.{name}"
+
+        def wrapped(*args, **kwargs):
+            span = _trace.Span(key, "port", {}) if _trace.on else None
+            if recorder is None:
+                if span is None:
+                    return value(*args, **kwargs)
+                with span:
+                    return value(*args, **kwargs)
+            token = recorder.begin(key)
+            try:
+                if span is None:
+                    return value(*args, **kwargs)
+                with span:
+                    return value(*args, **kwargs)
+            finally:
+                recorder.end(key, token)
+
+        return wrapped
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        setattr(object.__getattribute__(self, "_target"), name, value)

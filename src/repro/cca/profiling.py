@@ -4,9 +4,18 @@ The paper's future work item (4): "By using TAU, we intend to characterize
 the performance characteristics of individual components and their
 assemblies."  This module is that capability for our framework: it wraps
 every provides-port of an assembly in a transparent proxy that records
-per-method call counts and cumulative CPU time, attributed to the
+per-method call counts and cumulative CPU self-time, attributed to the
 providing component — so a run produces the per-component cost breakdown
 TAU would.
+
+Since ISSUE 2 the bookkeeping lives in the :mod:`repro.obs` subsystem:
+each :class:`Profiler` owns a :class:`repro.obs.metrics.MetricsRegistry`
+and the proxies (shared with :mod:`repro.cca.portproxy`) feed two
+metrics, ``cca.port.calls`` and ``cca.port.self_cpu_seconds``, labelled
+by port method.  The :attr:`Profiler.stats` dict and text
+:meth:`Profiler.report` are *views* over that registry, and when
+:mod:`repro.obs.trace` is enabled the same proxies also emit per-call
+spans — one instrumentation point, three outputs.
 
 Usage::
 
@@ -25,74 +34,65 @@ layered indirection stays cheap.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from repro.cca.framework import Framework
-from repro.cca.port import Port
-from repro.errors import CCAError
+from repro.cca.portproxy import TracingPortProxy
+from repro.obs.metrics import MetricsRegistry
+
+#: Registry metric names the profiler records under (label: ``method``).
+CALLS_METRIC = "cca.port.calls"
+SELF_CPU_METRIC = "cca.port.self_cpu_seconds"
 
 
 @dataclass
 class MethodStats:
-    """Aggregated cost of one port method."""
+    """Aggregated cost of one port method (a registry view)."""
 
     calls: int = 0
     cpu_seconds: float = 0.0
-    #: nesting guard: self-time excludes inner instrumented calls
-    _depth: int = 0
-
-
-class _PortProxy(Port):
-    """Transparent recording wrapper around a provides-port object."""
-
-    def __init__(self, target: Port, label: str,
-                 profiler: "Profiler") -> None:
-        # bypass our own __setattr__/__getattr__ plumbing
-        object.__setattr__(self, "_target", target)
-        object.__setattr__(self, "_label", label)
-        object.__setattr__(self, "_profiler", profiler)
-
-    @classmethod
-    def port_type(cls):  # pragma: no cover - proxies are created wired
-        raise CCAError("proxy has no static port type")
-
-    def __getattr__(self, name: str) -> Any:
-        value = getattr(object.__getattribute__(self, "_target"), name)
-        if not callable(value):
-            return value
-        profiler: Profiler = object.__getattribute__(self, "_profiler")
-        label: str = object.__getattribute__(self, "_label")
-
-        def wrapped(*args, **kwargs):
-            key = f"{label}.{name}"
-            stats = profiler.stats.setdefault(key, MethodStats())
-            stats.calls += 1
-            profiler._stack.append(key)
-            start = time.thread_time()
-            try:
-                return value(*args, **kwargs)
-            finally:
-                elapsed = time.thread_time() - start
-                profiler._stack.pop()
-                stats.cpu_seconds += elapsed
-                # subtract from the caller so times are self-times
-                if profiler._stack:
-                    outer = profiler.stats[profiler._stack[-1]]
-                    outer.cpu_seconds -= elapsed
-
-        return wrapped
-
-    def __setattr__(self, name: str, value: Any) -> None:
-        setattr(object.__getattribute__(self, "_target"), name, value)
 
 
 class Profiler:
-    """Holds the per-port-method statistics of one instrumented run."""
+    """Accumulates per-port-method statistics in a metrics registry.
 
-    def __init__(self) -> None:
-        self.stats: dict[str, MethodStats] = {}
-        self._stack: list[str] = []
+    Also the *recorder* the port proxies call back into: ``begin``/``end``
+    bracket every proxied method call, with an explicit nesting stack so
+    recorded CPU times are self-times (inner instrumented calls are
+    subtracted from their caller).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # [key, accumulated child cpu] per live call, innermost last
+        self._stack: list[list] = []
+
+    # -- recorder protocol (called by TracingPortProxy) --------------------
+    def begin(self, key: str) -> float:
+        self._stack.append([key, 0.0])
+        return time.thread_time()
+
+    def end(self, key: str, token: float) -> None:
+        elapsed = time.thread_time() - token
+        _key, child_cpu = self._stack.pop()
+        self.registry.counter(CALLS_METRIC, method=key).inc()
+        self.registry.counter(SELF_CPU_METRIC, method=key).inc(
+            elapsed - child_cpu)
+        # charge the full elapsed time to the caller so it can subtract
+        if self._stack:
+            self._stack[-1][1] += elapsed
+
+    # -- views over the registry -------------------------------------------
+    @property
+    def stats(self) -> dict[str, MethodStats]:
+        """Per-method stats derived from the metrics registry."""
+        out: dict[str, MethodStats] = {}
+        for labels, metric in self.registry.find(CALLS_METRIC):
+            out[labels["method"]] = MethodStats(calls=int(metric.value))
+        for labels, metric in self.registry.find(SELF_CPU_METRIC):
+            out.setdefault(labels["method"], MethodStats()).cpu_seconds = \
+                metric.value
+        return out
 
     def by_component(self) -> dict[str, tuple[int, float]]:
         """Aggregate to (calls, self CPU seconds) per component instance."""
@@ -123,20 +123,22 @@ class Profiler:
         return "\n".join(lines)
 
 
-def instrument(framework: Framework) -> Profiler:
+def instrument(framework: Framework,
+               profiler: Profiler | None = None) -> Profiler:
     """Wrap every provides-port of every instantiated component and
     re-wire existing connections through the proxies.
 
-    Returns the :class:`Profiler` accumulating the statistics.
+    Returns the :class:`Profiler` accumulating the statistics (in its
+    :attr:`~Profiler.registry`).
     """
-    profiler = Profiler()
-    proxies: dict[int, _PortProxy] = {}
+    profiler = profiler if profiler is not None else Profiler()
     for name in framework.instance_names():
         services = framework.services_of(name)
         for port_name, (port, ptype) in list(services.provides.items()):
+            if isinstance(port, TracingPortProxy):
+                continue  # already instrumented
             label = f"{name}:{port_name}"
-            proxy = _PortProxy(port, label, profiler)
-            proxies[id(port)] = proxy
+            proxy = TracingPortProxy(port, label, recorder=profiler)
             services.provides[port_name] = (proxy, ptype)
     # existing connections still hold raw port objects: swap them
     for (user, uses_port), (provider, provides_port) in \

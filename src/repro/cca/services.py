@@ -10,7 +10,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.cca.port import Port
+from repro.cca.portproxy import TracingPortProxy
 from repro.errors import CCAError, PortNotConnectedError, PortTypeError
+from repro.obs import trace as _trace
 from repro.util.options import Options
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -62,11 +64,20 @@ class Services:
                 f"{self.instance_name}: {port_name!r} was never registered "
                 f"as a uses port")
         try:
-            return self._connections[port_name]
+            port = self._connections[port_name]
         except KeyError:
             raise PortNotConnectedError(
                 f"{self.instance_name}: uses port {port_name!r} is not "
                 f"connected") from None
+        # While tracing is on, hand out a span-emitting proxy labelled by
+        # the *providing* side — the disabled cost is this flag check.
+        if _trace.on and not isinstance(port, TracingPortProxy):
+            wired = self._framework._connections.get(
+                (self.instance_name, port_name))
+            label = (f"{wired[0]}:{wired[1]}" if wired
+                     else f"{self.instance_name}:{port_name}")
+            return TracingPortProxy(port, label)
+        return port
 
     def release_port(self, port_name: str) -> None:
         """Signal that the port is no longer needed (bookkeeping no-op

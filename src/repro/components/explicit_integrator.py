@@ -16,6 +16,7 @@ Provides ``integrator`` (IntegratorPort); uses ``rhs`` (PatchRHSPort),
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -24,6 +25,8 @@ from repro.cca.component import Component
 from repro.cca.ports.integrator import IntegratorPort
 from repro.errors import CCAError
 from repro.integrators.rkc import rkc_step, stages_for
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
 from repro.samr.dataobject import DataObject
 from repro.samr.ghost import restrict_level
 
@@ -88,6 +91,8 @@ class ExplicitIntegrator(Component):
 
     def advance(self, dobj: DataObject, t: float, dt: float,
                 port: _RKCIntegrator) -> float:
+        t0 = time.perf_counter() if _obs.on else 0.0
+        nfe0 = port.nfe
         rho = self.global_bound(t)
         s = stages_for(dt, rho)
         port.last_stages = s
@@ -117,4 +122,12 @@ class ExplicitIntegrator(Component):
             restrict_level(dobj, lev, comm=comm)
             data_port.exchange_ghosts(dobj.name, lev)
         data_port.exchange_ghosts(dobj.name, 0)
+        if _obs.on:
+            _obs.complete("rkc.advance", "integrator", t0,
+                          dt=dt, stages=s, rho=rho, nfe=port.nfe - nfe0)
+            reg = _obs_registry()
+            reg.counter("integrator.steps", kind="rkc").inc()
+            reg.counter("integrator.rhs_evals", kind="rkc").inc(
+                port.nfe - nfe0)
+            reg.gauge("integrator.rkc_stages").set(s)
         return t + dt

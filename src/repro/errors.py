@@ -56,3 +56,7 @@ class ChemistryError(ReproError):
 
 class HydroError(ReproError):
     """Errors from the hydrodynamics kernels (negative density/pressure)."""
+
+
+class ObsError(ReproError):
+    """Errors from the observability subsystem (metric type clashes...)."""

@@ -21,6 +21,7 @@ divided-difference predictors are algebraically equivalent).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -29,6 +30,8 @@ import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
 from repro.errors import ConvergenceError, IntegratorError
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
 
 RHS = Callable[[float, np.ndarray], np.ndarray]
 
@@ -222,12 +225,23 @@ class CVode:
                 f"cannot integrate backwards ({t_end} < {self.t})")
         if t_end == self.t:
             return self.y
+        t0 = time.perf_counter() if _obs.on else 0.0
+        nsteps0, nfe0 = self.stats.nsteps, self.stats.nfe
         while self.t < t_end:
             if self.t + self.h > t_end:
                 # stretch the final step only when it is nearly there
                 self.h = min(self.h, max(t_end - self.t, 1e-300))
             self.step()
-        return self.interpolate(t_end)
+        out = self.interpolate(t_end)
+        if _obs.on:
+            dsteps = self.stats.nsteps - nsteps0
+            dnfe = self.stats.nfe - nfe0
+            _obs.complete("cvode.integrate_to", "integrator", t0,
+                          t_end=t_end, nsteps=dsteps, nfe=dnfe)
+            reg = _obs_registry()
+            reg.counter("integrator.steps", kind="cvode").inc(dsteps)
+            reg.counter("integrator.rhs_evals", kind="cvode").inc(dnfe)
+        return out
 
     def integrate_to_event(self, t_max: float,
                            event: Callable[[float, np.ndarray], float],

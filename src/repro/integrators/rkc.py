@@ -3,25 +3,43 @@
 Implements the second-order damped RKC scheme of Sommeijer, Shampine &
 Verwer ("RKC: an explicit solver for parabolic PDEs", J. Comp. Appl. Math.
 88, 1998) — the paper's ``ExplicitIntegrator``.  The stage count ``s`` is
-chosen so the stability interval ``beta(s) ~ 0.653 s^2`` covers
-``dt * rho`` where ``rho`` bounds the spectral radius of the diffusion
-operator (supplied by ``MaxDiffCoeffEvaluator`` in the component
-assembly).
+chosen so the stability interval ``beta(s)`` (exact; asymptotically
+``~ 0.653 s^2``) covers ``dt * rho`` where ``rho`` bounds the spectral
+radius of the diffusion operator (supplied by ``MaxDiffCoeffEvaluator``
+in the component assembly).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import IntegratorError
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
 
 RHS = Callable[[float, np.ndarray], np.ndarray]
 
 #: Damping parameter of the standard scheme.
 _EPS = 2.0 / 13.0
+
+
+def beta(s: int) -> float:
+    """Exact damped stability boundary of the ``s``-stage scheme.
+
+    ``beta(s) = (1 + w0) T''_s(w0) / T'_s(w0)`` with ``w0 = 1 + eps/s^2``
+    (Sommeijer et al. eq. 2.4).  The familiar ``0.653 s^2`` is its large-s
+    asymptote and *over*estimates it for small ``s`` — stage selection must
+    use the exact value or steps near the boundary are unstable.
+    """
+    if s < 2:
+        raise IntegratorError(f"RKC needs at least 2 stages, got {s}")
+    w0 = 1.0 + _EPS / s**2
+    _T, dT, ddT = _cheb_row(s, w0)
+    return (1.0 + w0) * ddT[s] / dT[s]
 
 
 def stages_for(dt: float, rho: float, safety: float = 1.05) -> int:
@@ -31,8 +49,13 @@ def stages_for(dt: float, rho: float, safety: float = 1.05) -> int:
     if rho < 0.0:
         raise IntegratorError(f"spectral radius must be >= 0, got {rho}")
     z = safety * dt * rho
-    # beta(s) = (s^2 - 1) * (2 - eps/2... ) ~= 0.653 s^2 for eps = 2/13
+    # Asymptotic first guess, then correct against the exact boundary
+    # (beta(s) <= 0.653 s^2, so at most a step or two of adjustment).
     s = max(2, int(math.ceil(math.sqrt(z / 0.653 + 1.0))))
+    while s > 2 and beta(s - 1) >= z:
+        s -= 1
+    while beta(s) < z:
+        s += 1
     return s
 
 
@@ -114,11 +137,22 @@ class RKC:
 
     def advance(self, t: float, y: np.ndarray, dt: float) -> np.ndarray:
         """One macro step of size ``dt``."""
+        t0 = time.perf_counter() if _obs.on else 0.0
+        nfe0 = self.nfe
         rho = float(self.rho_fn(t, y))
         s = stages_for(dt, rho)
         self.last_stages = s
         self.nsteps += 1
-        return rkc_step(self._counted_rhs, t, y, dt, rho, stages=s)
+        out = rkc_step(self._counted_rhs, t, y, dt, rho, stages=s)
+        if _obs.on:
+            _obs.complete("rkc.advance", "integrator", t0,
+                          dt=dt, stages=s, rho=rho, nfe=self.nfe - nfe0)
+            reg = _obs_registry()
+            reg.counter("integrator.steps", kind="rkc").inc()
+            reg.counter("integrator.rhs_evals", kind="rkc").inc(
+                self.nfe - nfe0)
+            reg.gauge("integrator.rkc_stages").set(s)
+        return out
 
     def integrate_to(self, t0: float, y: np.ndarray, t_end: float,
                      dt: float) -> np.ndarray:

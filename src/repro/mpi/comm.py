@@ -38,6 +38,8 @@ import numpy as np
 
 from repro.errors import CommAbortedError, MPIError
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -286,6 +288,7 @@ class Comm:
         self.world.check_alive()
         if not (0 <= dest < self.size):
             raise MPIError(f"send dest {dest} out of range for size {self.size}")
+        t0 = time.perf_counter() if _obs.on else 0.0
         self._sync()
         payload, nbytes = _isolate(obj)
         machine = self.world.machine
@@ -297,11 +300,19 @@ class Comm:
         with cond:
             box.append(msg)
             cond.notify_all()
+        if _obs.on:
+            _obs.complete("mpi.send", "mpi", t0, dest=dest, tag=tag,
+                          nbytes=nbytes, vt=self._state.clock)
+            reg = _obs_registry()
+            reg.counter("mpi.sends", rank=self.global_rank).inc()
+            reg.counter("mpi.bytes_sent", rank=self.global_rank).inc(nbytes)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              status: Status | None = None) -> Any:
         """Blocking receive; wildcards ``ANY_SOURCE`` / ``ANY_TAG``."""
+        t0 = time.perf_counter() if _obs.on else 0.0
         self._sync()
+        vt_in = self._state.clock
         box, cond = self.world.box(self.id, self.rank)
         with cond:
             while True:
@@ -311,6 +322,16 @@ class Comm:
                     break
                 cond.wait(timeout=_POLL_INTERVAL)
         self._state.clock = max(self._state.clock, msg.avail_time)
+        if _obs.on:
+            _obs.complete("mpi.recv", "mpi", t0, source=msg.source,
+                          tag=msg.tag, nbytes=msg.nbytes,
+                          vt=self._state.clock,
+                          vt_wait=self._state.clock - vt_in)
+            reg = _obs_registry()
+            reg.counter("mpi.recvs", rank=self.global_rank).inc()
+            reg.histogram("mpi.recv_wait_seconds",
+                          rank=self.global_rank).observe(
+                time.perf_counter() - t0)
         if status is not None:
             status.source = msg.source
             status.tag = msg.tag
@@ -360,10 +381,12 @@ class Comm:
 
     # -- collectives ----------------------------------------------------------
     def _collective(self, contribution: Any,
-                    finish: Callable[[dict[int, Any]], tuple[Any, float]]) -> Any:
+                    finish: Callable[[dict[int, Any]], tuple[Any, float]],
+                    label: str = "collective") -> Any:
         """Generic rendezvous: every member contributes, the last arrival
         runs ``finish(contribs) -> (result, comm_cost)``, everyone leaves at
         ``max(entry clocks) + comm_cost`` with the shared result."""
+        t0 = time.perf_counter() if _obs.on else 0.0
         self._sync()
         self._coll_seq += 1
         slot = self.world.slot(self.id, self._coll_seq)
@@ -387,6 +410,11 @@ class Comm:
             if slot.read == slot.size:
                 self.world.drop_slot(self.id, self._coll_seq)
         self._state.clock = max(self._state.clock, slot.exit_clock)
+        if _obs.on:
+            _obs.complete(f"mpi.{label}", "mpi", t0, size=self.size,
+                          vt=self._state.clock)
+            _obs_registry().counter("mpi.collectives", op=label,
+                                    rank=self.global_rank).inc()
         return slot.result
 
     def barrier(self) -> None:
@@ -396,7 +424,7 @@ class Comm:
         def finish(_contribs):
             return None, machine.barrier_time(size)
 
-        self._collective(None, finish)
+        self._collective(None, finish, label="barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; all members return it."""
@@ -407,7 +435,7 @@ class Comm:
             value, nbytes = contribs[root]
             return value, machine.bcast_time(size, nbytes)
 
-        return self._collective(payload, finish)
+        return self._collective(payload, finish, label="bcast")
 
     def reduce(self, obj: Any, op: Op = Op.SUM, root: int = 0) -> Any:
         """Reduce to ``root``; non-roots return ``None``."""
@@ -433,7 +461,8 @@ class Comm:
                     else machine.reduce_time(size, nbytes))
             return acc, cost
 
-        return self._collective(payload, finish)
+        return self._collective(
+            payload, finish, label="allreduce" if allreduce else "reduce")
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per member to ``root`` (rank-ordered list)."""
@@ -445,7 +474,7 @@ class Comm:
             values = [contribs[r][0] for r in range(size)]
             return values, machine.gather_time(size, nbytes)
 
-        result = self._collective(payload, finish)
+        result = self._collective(payload, finish, label="gather")
         return result if self.rank == root else None
 
     def allgather(self, obj: Any) -> list[Any]:
@@ -458,7 +487,7 @@ class Comm:
             values = [contribs[r][0] for r in range(size)]
             return values, machine.allgather_time(size, nbytes)
 
-        return self._collective(payload, finish)
+        return self._collective(payload, finish, label="allgather")
 
     def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
         """Scatter ``objs[i]`` from root to rank ``i``."""
@@ -476,7 +505,7 @@ class Comm:
             values = {r: items[r][0] for r in range(size)}
             return values, machine.gather_time(size, nbytes)
 
-        values = self._collective(payload, finish)
+        values = self._collective(payload, finish, label="scatter")
         return values[self.rank]
 
     def alltoall(self, objs: list[Any]) -> list[Any]:
@@ -494,7 +523,7 @@ class Comm:
             }
             return table, machine.alltoall_time(size, nbytes)
 
-        table = self._collective(payload, finish)
+        table = self._collective(payload, finish, label="alltoall")
         return table[self.rank]
 
     # -- communicator management ---------------------------------------------

@@ -62,21 +62,23 @@ def mpirun(
 
     def runner(rank: int) -> None:
         comm = Comm(world, comm_id=0, rank=rank, size=nprocs, global_rank=rank)
-        rlog.set_rank(rank)
-        try:
-            comm.reset_clock()  # don't charge thread start-up
-            results[rank] = main(comm, *args)
-            clocks[rank] = comm.clock
-        except CommAbortedError as exc:
-            # Secondary failure: this rank was unblocked by a peer's abort.
-            with failures_lock:
-                failures.setdefault(rank, exc)
-        except BaseException as exc:  # noqa: BLE001 - report all rank crashes
-            with failures_lock:
-                failures[rank] = exc
-            world.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
-        finally:
-            rlog.set_rank(None)
+        # Rank-tag the thread for logging AND repro.obs trace attribution;
+        # restored (not cleared) so the inline nprocs == 1 path is safe.
+        with rlog.rank_context(rank):
+            try:
+                comm.reset_clock()  # don't charge thread start-up
+                results[rank] = main(comm, *args)
+                clocks[rank] = comm.clock
+            except CommAbortedError as exc:
+                # Secondary failure: this rank was unblocked by a peer's
+                # abort.
+                with failures_lock:
+                    failures.setdefault(rank, exc)
+            except BaseException as exc:  # noqa: BLE001 - report all crashes
+                with failures_lock:
+                    failures[rank] = exc
+                world.abort(
+                    f"rank {rank} raised {type(exc).__name__}: {exc}")
 
     if nprocs == 1:
         # Fast path: run inline (no thread) — keeps unit tests cheap and

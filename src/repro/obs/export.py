@@ -1,0 +1,126 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and flat metrics JSON.
+
+The trace export follows the Trace Event Format (the JSON Perfetto and
+``chrome://tracing`` load directly): one ``pid`` for the process, one
+``tid`` *per SCMD rank* (rank-untagged threads get their own tracks after
+the rank block), ``"X"`` complete events with microsecond ``ts``/``dur``,
+and ``"M"`` metadata records naming every track.
+
+The metrics export is a flat list of ``{name, type, labels, ...}``
+records under a ``schema`` version field, the machine-readable companion
+of the bench text tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Sequence
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+METRICS_SCHEMA = 1
+
+#: tid offset for threads that carry no SCMD rank tag (serial runs, the
+#: main thread); keeps them clear of any plausible rank count.
+_UNRANKED_TID0 = 10_000
+
+
+def _json_safe(obj: Any) -> Any:
+    """Fallback serializer for numpy scalars and other stragglers."""
+    for cast in (int, float):
+        try:
+            return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    return str(obj)
+
+
+def chrome_trace_events(
+        events: Sequence[_trace.Event] | None = None) -> list[dict]:
+    """Convert tracer events into Trace Event Format records."""
+    if events is None:
+        events = _trace.events()
+
+    # Track assignment: rank n -> tid n; unranked threads -> stable tids
+    # past _UNRANKED_TID0, in order of first appearance.
+    unranked: dict[str, int] = {}
+    tracks: dict[int, str] = {}
+
+    def tid_of(event: _trace.Event) -> int:
+        if event.rank is not None:
+            tracks.setdefault(event.rank, f"rank {event.rank}")
+            return event.rank
+        tid = unranked.get(event.thread)
+        if tid is None:
+            tid = unranked[event.thread] = _UNRANKED_TID0 + len(unranked)
+            tracks[tid] = event.thread
+        return tid
+
+    records: list[dict] = []
+    for e in events:
+        rec: dict[str, Any] = {
+            "ph": e.ph,
+            "name": e.name,
+            "cat": e.cat,
+            "ts": e.ts,
+            "pid": 1,
+            "tid": tid_of(e),
+        }
+        if e.ph == "X":
+            rec["dur"] = e.dur
+        else:  # instants are thread-scoped markers
+            rec["s"] = "t"
+        if e.args:
+            rec["args"] = e.args
+        records.append(rec)
+
+    meta: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+        "args": {"name": "repro"},
+    }]
+    for tid, name in sorted(tracks.items()):
+        meta.append({"ph": "M", "name": "thread_name", "pid": 1,
+                     "tid": tid, "args": {"name": name}})
+        meta.append({"ph": "M", "name": "thread_sort_index", "pid": 1,
+                     "tid": tid, "args": {"sort_index": tid}})
+    return meta + records
+
+
+def export_chrome_trace(path: str,
+                        events: Sequence[_trace.Event] | None = None) -> str:
+    """Write the collected trace as Chrome/Perfetto JSON; returns ``path``."""
+    payload = {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+    }
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, default=_json_safe)
+    return path
+
+
+def metrics_payload(registry: MetricsRegistry | None = None) -> dict:
+    """JSON-ready snapshot of a registry (the default one if omitted)."""
+    registry = registry if registry is not None else get_registry()
+    return {"schema": METRICS_SCHEMA, "metrics": registry.snapshot()}
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the target directory so an at-exit export (where a
+    traceback would silently cost the whole run's trace) cannot fail on
+    a missing path."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def export_metrics(path: str,
+                   registry: MetricsRegistry | None = None) -> str:
+    """Write a registry snapshot as flat JSON; returns ``path``."""
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_payload(registry), fh, indent=2, sort_keys=True,
+                  default=_json_safe)
+    return path

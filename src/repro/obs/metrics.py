@@ -1,0 +1,201 @@
+"""Labelled metrics registry: counters, gauges, histograms.
+
+The structured side of the observability subsystem: where the tracer
+answers "when and for how long", the registry answers "how many and how
+much" — call counts per port method, bytes through the communicator,
+cells per refinement level.  :mod:`repro.cca.profiling` derives its
+TAU-style per-component report entirely from a registry (no bookkeeping
+of its own), and the MPI/SAMR hooks feed the process-wide default
+registry while tracing is enabled.
+
+All mutation is lock-protected: SCMD rank-threads share one registry, and
+float ``+=`` is not atomic under free-threaded builds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from repro.errors import ObsError
+
+#: Histogram bucket upper bounds (seconds-flavoured log sweep; values
+#: above the last edge land in the overflow bucket).
+DEFAULT_EDGES = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically-growing sum (small negative corrections from
+    self-time accounting are tolerated)."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Cumulative distribution: count/sum/min/max plus log-spaced buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, edges: tuple[float, ...] = DEFAULT_EDGES) -> None:
+        self._lock = threading.Lock()
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(self.edges) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, edge in enumerate(self.edges):
+                if value <= edge:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{edge:g}": c
+                   for edge, c in zip(self.edges, self.counts)},
+                "overflow": self.counts[-1],
+            },
+        }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
+
+    def _get_or_create(self, cls, name: str, labels: dict[str, Any],
+                       **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(**kwargs)
+            elif not isinstance(metric, cls):
+                raise ObsError(
+                    f"metric {name!r}{dict(key[1])!r} already registered "
+                    f"as {metric.kind}, requested {cls.kind}")
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  edges: tuple[float, ...] = DEFAULT_EDGES,
+                  **labels: Any) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, edges=edges)
+
+    # -- read side --------------------------------------------------------
+    def get(self, name: str, **labels: Any) -> Metric | None:
+        return self._metrics.get((name, _label_key(labels)))
+
+    def find(self, name: str) -> Iterator[tuple[dict[str, str], Metric]]:
+        """All (labels, metric) pairs registered under ``name``."""
+        with self._lock:
+            items = list(self._metrics.items())
+        for (n, lk), metric in items:
+            if n == name:
+                yield dict(lk), metric
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted({n for n, _ in self._metrics})
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Flat, JSON-ready view of every metric."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return [
+            {"name": name, "type": metric.kind, "labels": dict(lk),
+             **metric.snapshot()}
+            for (name, lk), metric in items
+        ]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+_default = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry fed by the built-in hooks."""
+    return _default

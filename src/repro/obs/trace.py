@@ -1,0 +1,197 @@
+"""Low-overhead structured tracer: spans + instant events.
+
+Design constraints (ISSUE 2 / paper §6 future-work item on TAU):
+
+* **Off by default, near-zero disabled cost.**  Hot call sites guard with
+  ``if trace.on:`` — a single module-attribute read — and the :func:`span`
+  helper returns a shared no-op singleton when tracing is off, so the
+  disabled path never allocates a span object.
+* **Safe under SCMD rank-threads.**  Events are appended to *per-thread*
+  buffers (registered once per thread per session under a lock), so
+  concurrent rank-threads never interleave writes to a shared list.
+  Every event records the emitting thread's SCMD rank from
+  :mod:`repro.util.logging`, which :func:`repro.mpi.launcher.mpirun` tags
+  automatically — that is what gives the Chrome/Perfetto export one track
+  per rank.
+* **Two clocks.**  Spans carry wall time (``time.perf_counter`` relative
+  to the session start, exported in microseconds); layers that know the
+  rank's *virtual* clock (:mod:`repro.mpi.comm`) attach it as a ``vt``
+  span argument.
+
+The module is deliberately framework-agnostic: it knows nothing about
+components, communicators, or meshes.  Those layers call in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, NamedTuple
+
+from repro.util.logging import get_rank
+
+#: Master switch.  Hot paths read this module attribute directly
+#: (``if trace.on:``); everything else should go through :func:`enabled`.
+on: bool = False
+
+_lock = threading.Lock()
+#: (thread name, event list) per thread that emitted in this session.
+_buffers: list[tuple[str, list]] = []
+#: Bumped on every :func:`start`; stale thread-local buffers from a
+#: previous session are abandoned instead of reused.
+_generation = 0
+#: ``perf_counter`` origin of the current session (event timestamps are
+#: relative to it).
+_t0 = 0.0
+
+_tls = threading.local()
+
+
+class Event(NamedTuple):
+    """One recorded trace event (internal form, pre-export)."""
+
+    ph: str                 # "X" complete span | "i" instant
+    name: str
+    cat: str
+    ts: float               # microseconds since session start
+    dur: float              # microseconds ("X" only; 0.0 for instants)
+    rank: int | None        # SCMD rank of the emitting thread, if tagged
+    thread: str             # emitting thread name
+    args: dict[str, Any] | None
+
+
+def _buf() -> list:
+    """The calling thread's event buffer for the current session."""
+    if getattr(_tls, "gen", -1) != _generation:
+        _tls.buf = []
+        _tls.gen = _generation
+        with _lock:
+            _buffers.append((threading.current_thread().name, _tls.buf))
+    return _tls.buf
+
+
+# -- session control ----------------------------------------------------------
+def start(clear: bool = True) -> None:
+    """Enable tracing (optionally clearing previously collected events)."""
+    global on, _generation, _t0
+    if clear:
+        with _lock:
+            _buffers.clear()
+        _generation += 1
+        _t0 = time.perf_counter()
+    on = True
+
+
+def stop() -> None:
+    """Disable tracing; collected events stay readable via :func:`events`."""
+    global on
+    on = False
+
+
+def enabled() -> bool:
+    return on
+
+
+def clear() -> None:
+    """Drop all collected events (keeps the enabled/disabled state)."""
+    global _generation, _t0
+    with _lock:
+        _buffers.clear()
+    _generation += 1
+    _t0 = time.perf_counter()
+
+
+def events() -> list[Event]:
+    """All events of the current session, merged across threads and
+    sorted by timestamp."""
+    with _lock:
+        merged = [e for _name, buf in _buffers for e in buf]
+    merged.sort(key=lambda e: e.ts)
+    return merged
+
+
+# -- emission -----------------------------------------------------------------
+class Span:
+    """A context-managed duration event."""
+
+    __slots__ = ("name", "cat", "args", "_start")
+
+    def __init__(self, name: str, cat: str, args: dict[str, Any]) -> None:
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def add(self, **more: Any) -> None:
+        """Attach extra args discovered mid-span (sizes, counts, ...)."""
+        self.args.update(more)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        _buf().append(Event(
+            "X", self.name, self.cat, (self._start - _t0) * 1e6,
+            (end - self._start) * 1e6, get_rank(),
+            threading.current_thread().name, self.args or None))
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def add(self, **more: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, cat: str = "app", **args: Any):
+    """A span context manager (the shared no-op singleton when disabled).
+
+    Note for *hot* call sites: the keyword-argument dict is built before
+    the flag is consulted, so guard with ``if trace.on:`` yourself when
+    the call sits on a per-cell/per-message path.
+    """
+    if not on:
+        return NULL_SPAN
+    return Span(name, cat, args)
+
+
+def complete(name: str, cat: str, t_start: float, **args: Any) -> None:
+    """Record a span that started at ``t_start`` (a ``perf_counter``
+    reading) and ends now.
+
+    This is the guard-friendly form for call sites that cannot use a
+    ``with`` block without restructuring::
+
+        t0 = time.perf_counter() if trace.on else 0.0
+        ... work ...
+        if trace.on:
+            trace.complete("mpi.send", "mpi", t0, nbytes=n)
+
+    Callers are expected to have checked ``trace.on`` themselves.
+    """
+    end = time.perf_counter()
+    _buf().append(Event(
+        "X", name, cat, (t_start - _t0) * 1e6, (end - t_start) * 1e6,
+        get_rank(), threading.current_thread().name, args or None))
+
+
+def instant(name: str, cat: str = "app", **args: Any) -> None:
+    """Record a zero-duration marker event."""
+    if not on:
+        return
+    _buf().append(Event(
+        "i", name, cat, (time.perf_counter() - _t0) * 1e6, 0.0,
+        get_rank(), threading.current_thread().name, args or None))

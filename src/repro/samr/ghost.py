@@ -13,11 +13,14 @@ degenerates to local copies.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import MeshError
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
 from repro.samr.box import Box
 from repro.samr.boxlist import subtract_all
 from repro.samr.dataobject import DataObject
@@ -47,6 +50,7 @@ def exchange_ghosts(
     3. physical: ghost cells outside the domain are filled by ``bc``
        (default: zero-gradient extrapolation).
     """
+    t0 = time.perf_counter() if _obs.on else 0.0
     hierarchy = dobj.hierarchy
     lvl = hierarchy.level(level)
     domain = hierarchy.domain_at(level)
@@ -89,6 +93,16 @@ def exchange_ghosts(
                 fill(patch, arr, axis, 0)
             if patch.box.hi[axis] == domain.hi[axis]:
                 fill(patch, arr, axis, 1)
+
+    if _obs.on:
+        shipped = sum(p.nbytes for batch in sends for *_m, p in batch)
+        args = {"level": level, "nbytes": shipped}
+        if comm is not None:
+            args["vt"] = comm.clock
+        _obs.complete("samr.ghost_exchange", "samr", t0, **args)
+        reg = _obs_registry()
+        reg.counter("samr.ghost_exchanges", level=level).inc()
+        reg.counter("samr.ghost_bytes", level=level).inc(shipped)
 
 
 def zero_gradient_bc(patch: Patch, arr: np.ndarray, axis: int, side: int) -> None:

@@ -19,7 +19,20 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import MeshError
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
 from repro.samr.box import Box
+
+
+def _observe_balance(strategy: str, boxes: Sequence[Box],
+                     owners: list[int], nranks: int,
+                     weights: Sequence[float] | None) -> None:
+    """Trace/metric one load-balance decision (tracing-enabled path only)."""
+    imbalance = load_imbalance(boxes, owners, nranks, weights)
+    _obs.instant("samr.load_balance", "samr", strategy=strategy,
+                 nboxes=len(boxes), nranks=nranks, imbalance=imbalance)
+    _obs_registry().gauge("samr.load_imbalance",
+                          strategy=strategy).set(imbalance)
 
 
 def balance_greedy(boxes: Sequence[Box], nranks: int,
@@ -44,6 +57,8 @@ def balance_greedy(boxes: Sequence[Box], nranks: int,
         rank = loads.index(min(loads))
         owners[i] = rank
         loads[rank] += w
+    if _obs.on:
+        _observe_balance("greedy", boxes, owners, nranks, weights)
     return owners
 
 
@@ -71,6 +86,8 @@ def balance_sfc(boxes: Sequence[Box], nranks: int,
         # advance to the next rank once its fair share is consumed
         while rank < nranks - 1 and acc >= target * (rank + 1):
             rank += 1
+    if _obs.on:
+        _observe_balance("sfc", boxes, owners, nranks, weights)
     return owners
 
 

@@ -14,11 +14,14 @@ synchronization point, which keeps the data-transfer logic purely spatial.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import MeshError
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
 from repro.samr.box import Box
 from repro.samr.clustering import cluster_flags
 from repro.samr.dataobject import DataObject
@@ -51,6 +54,7 @@ def regrid(
        overwritten with any old same-level data that overlaps.
     3. DataObjects are reallocated; ghost cells are left to the caller.
     """
+    t0 = time.perf_counter() if _obs.on else 0.0
     max_new = hierarchy.max_levels - 1
     n_flag_levels = min(hierarchy.nlevels, max_new)
     if n_flag_levels == 0:
@@ -101,6 +105,18 @@ def regrid(
     hierarchy.drop_levels_above(top)
     for dobj in dataobjs:
         dobj.sync_allocation()
+    if _obs.on:
+        args = {"nlevels": hierarchy.nlevels,
+                "total_cells": hierarchy.total_cells()}
+        if comm is not None:
+            args["vt"] = comm.clock
+        _obs.complete("samr.regrid", "samr", t0, **args)
+        reg = _obs_registry()
+        reg.counter("samr.regrids").inc()
+        reg.gauge("samr.levels").set(hierarchy.nlevels)
+        for lev in range(hierarchy.nlevels):
+            reg.gauge("samr.patches", level=lev).set(
+                len(hierarchy.level(lev).patches))
 
 
 # ---------------------------------------------------------------- helpers

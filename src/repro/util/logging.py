@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import logging
 import threading
+from contextlib import contextmanager
 
 _local = threading.local()
 
@@ -19,6 +20,25 @@ def set_rank(rank: int | None) -> None:
 
 def get_rank() -> int | None:
     return getattr(_local, "rank", None)
+
+
+@contextmanager
+def rank_context(rank: int | None):
+    """Tag the calling thread with ``rank`` for the duration of the block,
+    restoring the previous tag on exit.
+
+    :func:`repro.mpi.launcher.mpirun` wraps every rank-thread's body in
+    this, so log records *and* :mod:`repro.obs` trace events are
+    rank-attributed automatically — callers never tag threads by hand.
+    Restoring (rather than clearing) matters on the ``nprocs == 1`` fast
+    path, which runs rank 0 inline on the caller's own thread.
+    """
+    previous = get_rank()
+    set_rank(rank)
+    try:
+        yield
+    finally:
+        set_rank(previous)
 
 
 class _RankFilter(logging.Filter):

@@ -15,27 +15,30 @@ import time
 
 
 class Stopwatch:
-    """Accumulating wall-clock stopwatch.
+    """Accumulating stopwatch (wall clock by default, any zero-argument
+    clock via ``clock=`` — e.g. ``time.process_time`` for the interleaved
+    overhead bench).
 
     >>> sw = Stopwatch()
-    >>> sw.start(); ...; sw.stop()      # doctest: +SKIP
+    >>> with sw: ...                     # doctest: +SKIP
     >>> sw.elapsed                       # doctest: +SKIP
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
         self._start: float | None = None
         self.elapsed: float = 0.0
 
     def start(self) -> "Stopwatch":
         if self._start is not None:
             raise RuntimeError("stopwatch already running")
-        self._start = time.perf_counter()
+        self._start = self._clock()
         return self
 
     def stop(self) -> float:
         if self._start is None:
             raise RuntimeError("stopwatch not running")
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += self._clock() - self._start
         self._start = None
         return self.elapsed
 

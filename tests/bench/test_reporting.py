@@ -1,10 +1,12 @@
 """Tests for the bench reporting helpers."""
 
+import json
 import os
 
+import numpy as np
 import pytest
 
-from repro.bench import format_table, save_report
+from repro.bench import format_table, save_json, save_report
 
 
 def test_format_table_alignment():
@@ -40,3 +42,24 @@ def test_save_report_env_dir(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "envdir"))
     path = save_report("unit2", "x")
     assert str(tmp_path / "envdir") in path
+
+
+def test_save_json_injects_schema(tmp_path):
+    path = save_json("t", {"rows": [1, 2]}, directory=str(tmp_path))
+    assert path.endswith("t.json")
+    doc = json.loads(open(path).read())
+    assert doc == {"schema": 1, "rows": [1, 2]}
+
+
+def test_save_json_env_dir_and_numpy_values(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "envdir"))
+    path = save_json("np", {
+        "scalar": np.float64(1.5),
+        "count": np.int64(3),
+        "series": np.arange(3),
+    })
+    assert str(tmp_path / "envdir") in path
+    doc = json.loads(open(path).read())
+    assert doc["scalar"] == 1.5
+    assert doc["count"] == 3
+    assert doc["series"] == [0, 1, 2]

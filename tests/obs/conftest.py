@@ -1,0 +1,17 @@
+"""Shared fixtures: every obs test leaves the process-global tracer and
+default registry exactly as it found them (off and empty)."""
+
+import pytest
+
+from repro.obs import get_registry, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    trace.stop()
+    trace.clear()
+    get_registry().reset()
+    yield
+    trace.stop()
+    trace.clear()
+    get_registry().reset()

@@ -1,0 +1,82 @@
+"""Exporters: Chrome trace_event JSON structure and metrics JSON."""
+
+import json
+
+from repro.obs import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_metrics,
+    get_registry,
+    metrics_payload,
+    trace,
+)
+from repro.util.logging import rank_context
+
+
+def _emit(name, rank=None, cat="app", ph="X", **args):
+    with rank_context(rank):
+        if ph == "X":
+            with trace.span(name, cat=cat, **args):
+                pass
+        else:
+            trace.instant(name, cat, **args)
+
+
+def test_chrome_events_have_required_fields():
+    trace.start()
+    _emit("op", rank=0, nbytes=4)
+    _emit("mark", rank=0, ph="i")
+    trace.stop()
+    records = chrome_trace_events()
+    x = next(r for r in records if r["ph"] == "X")
+    assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(x)
+    assert x["tid"] == 0
+    assert x["args"] == {"nbytes": 4}
+    i = next(r for r in records if r["ph"] == "i")
+    assert i["s"] == "t"
+    assert "dur" not in i
+
+
+def test_one_track_per_rank_with_metadata():
+    trace.start()
+    for rank in (0, 1, 2):
+        _emit("step", rank=rank)
+    trace.stop()
+    records = chrome_trace_events()
+    names = {r["tid"]: r["args"]["name"] for r in records
+             if r["ph"] == "M" and r["name"] == "thread_name"}
+    assert {0: "rank 0", 1: "rank 1", 2: "rank 2"} == {
+        t: n for t, n in names.items() if t < 3}
+    assert any(r["name"] == "process_name" for r in records
+               if r["ph"] == "M")
+
+
+def test_unranked_threads_get_tracks_past_rank_block():
+    trace.start()
+    _emit("serial", rank=None)
+    trace.stop()
+    records = chrome_trace_events()
+    x = next(r for r in records if r["ph"] == "X")
+    assert x["tid"] >= 10_000
+
+
+def test_export_chrome_trace_roundtrip(tmp_path):
+    trace.start()
+    _emit("op", rank=1)
+    trace.stop()
+    path = export_chrome_trace(str(tmp_path / "t.json"))
+    doc = json.loads(open(path).read())
+    assert doc["displayTimeUnit"] == "ms"
+    assert any(r.get("name") == "op" for r in doc["traceEvents"])
+
+
+def test_metrics_payload_schema_and_export(tmp_path):
+    reg = get_registry()
+    reg.counter("mpi.sends", rank=0).inc(3)
+    payload = metrics_payload()
+    assert payload["schema"] == 1
+    (m,) = payload["metrics"]
+    assert m == {"name": "mpi.sends", "type": "counter",
+                 "labels": {"rank": "0"}, "value": 3.0}
+    path = export_metrics(str(tmp_path / "m.json"))
+    assert json.loads(open(path).read()) == payload

@@ -1,0 +1,117 @@
+"""Metrics registry: counters, gauges, histograms, labels, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import get_registry
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("calls", component="mesh")
+    c.inc()
+    c.inc(2.5)
+    assert reg.counter("calls", component="mesh") is c
+    assert c.value == 3.5
+
+
+def test_labels_distinguish_series_and_order_does_not():
+    reg = MetricsRegistry()
+    a = reg.counter("x", rank=0, level=1)
+    b = reg.counter("x", rank=1, level=1)
+    assert a is not b
+    assert reg.counter("x", level=1, rank=0) is a  # sorted label key
+    assert len(reg) == 2
+
+
+def test_gauge_set_and_inc():
+    reg = MetricsRegistry()
+    g = reg.gauge("levels")
+    g.set(3)
+    assert g.value == 3.0
+    g.inc(-1)
+    assert g.value == 2.0
+
+
+def test_histogram_statistics_and_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("wait")
+    for v in (5e-7, 5e-4, 2.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx((5e-7 + 5e-4 + 2.0) / 3)
+    assert h.min == pytest.approx(5e-7)
+    assert h.max == pytest.approx(2.0)
+    snap = h.snapshot()
+    assert snap["buckets"]["le_1e-06"] == 1
+    assert snap["buckets"]["le_0.001"] == 1
+    assert snap["buckets"]["le_10"] == 1
+    assert snap["buckets"]["overflow"] == 0
+
+
+def test_histogram_overflow_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("t")
+    h.observe(1e6)
+    assert h.snapshot()["buckets"]["overflow"] == 1
+
+
+def test_kind_clash_raises():
+    reg = MetricsRegistry()
+    reg.counter("dual")
+    with pytest.raises(ObsError, match="already registered as counter"):
+        reg.gauge("dual")
+
+
+def test_get_and_find():
+    reg = MetricsRegistry()
+    reg.counter("hits", rank=0).inc(4)
+    reg.counter("hits", rank=1).inc(7)
+    assert reg.get("hits", rank=1).value == 7.0
+    assert reg.get("hits", rank=9) is None
+    found = {labels["rank"]: m.value for labels, m in reg.find("hits")}
+    assert found == {"0": 4.0, "1": 7.0}
+
+
+def test_snapshot_is_flat_and_json_shaped():
+    reg = MetricsRegistry()
+    reg.counter("a", k="v").inc()
+    reg.gauge("b").set(1.5)
+    snap = reg.snapshot()
+    assert [s["name"] for s in snap] == ["a", "b"]
+    assert snap[0] == {"name": "a", "type": "counter",
+                      "labels": {"k": "v"}, "value": 1.0}
+    assert snap[1]["type"] == "gauge"
+
+
+def test_reset_and_names():
+    reg = MetricsRegistry()
+    reg.counter("one")
+    reg.gauge("two")
+    assert reg.names() == ["one", "two"]
+    reg.reset()
+    assert len(reg) == 0
+
+
+def test_default_registry_is_shared():
+    assert get_registry() is get_registry()
+
+
+def test_counter_thread_safety():
+    reg = MetricsRegistry()
+    c = reg.counter("contended")
+    n, per = 8, 2000
+
+    def work():
+        for _ in range(per):
+            c.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == n * per

@@ -1,0 +1,121 @@
+"""Tracer under SCMD execution (ISSUE satellite: >= 4 rank-threads).
+
+Verifies the per-thread buffers and automatic rank tagging deliver a
+valid trace: every rank has its own track, spans within a track never
+partially overlap (proper nesting), and MPI events carry the rank's
+virtual clock.
+"""
+
+import repro.obs as obs
+from repro.cca import Component, Port, run_scmd
+from repro.cca.ports import GoPort
+from repro.mpi import ZERO_COST
+from repro.obs import chrome_trace_events, trace
+
+NPROCS = 4
+
+
+class WorkPort(Port):
+    def crunch(self, reps):
+        raise NotImplementedError
+
+
+class _WorkImpl(WorkPort):
+    def crunch(self, reps):
+        return sum(i * i for i in range(reps))
+
+
+class Worker(Component):
+    def set_services(self, services):
+        services.add_provides_port(_WorkImpl(), "work")
+
+
+class Driver(Component):
+    def set_services(self, services):
+        self.services = services
+        services.register_uses_port("work", "WorkPort")
+
+        class _Go(GoPort):
+            def go(inner):
+                comm = self.services.get_comm()
+                work = self.services.get_port("work")
+                for reps in (100, 200):
+                    work.crunch(reps)
+                if comm is None:  # serial reuse (test_hooks_layers)
+                    return 0
+                total = comm.allreduce(comm.rank)
+                comm.barrier()
+                return total
+
+        services.add_provides_port(_Go(), "go")
+
+
+def _run_traced():
+    def setup(framework):
+        framework.instantiate("Worker", "w")
+        framework.instantiate("Driver", "d")
+        framework.connect("d", "work", "w", "work")
+        return framework.go("d")
+
+    with obs.tracing():
+        results = run_scmd(NPROCS, setup, classes=[Worker, Driver],
+                           machine=ZERO_COST)
+    assert results == [sum(range(NPROCS))] * NPROCS
+    return trace.events()
+
+
+def test_every_rank_gets_its_own_track():
+    events = _run_traced()
+    ranks = {e.rank for e in events if e.rank is not None}
+    assert ranks == set(range(NPROCS))
+    # each rank emitted both port-call and mpi spans
+    for rank in range(NPROCS):
+        cats = {e.cat for e in events if e.rank == rank}
+        assert {"port", "mpi"} <= cats
+
+
+def test_port_spans_attributed_to_calling_rank():
+    events = _run_traced()
+    for rank in range(NPROCS):
+        crunches = [e for e in events
+                    if e.rank == rank and e.name.endswith("crunch")]
+        assert len(crunches) == 2  # the two crunch() calls of this rank
+
+
+def test_tracks_properly_nested_not_interleaved():
+    """Within one rank's track, spans must nest or be disjoint — partial
+    overlap would mean another thread wrote into this rank's timeline."""
+    events = _run_traced()
+    for rank in range(NPROCS):
+        spans = sorted(
+            ((e.ts, e.ts + e.dur) for e in events
+             if e.rank == rank and e.ph == "X"),
+            key=lambda iv: (iv[0], -iv[1]))
+        stack = []
+        for start, end in spans:
+            while stack and stack[-1] <= start:
+                stack.pop()
+            if stack:
+                assert end <= stack[-1] + 1e-6, \
+                    f"rank {rank}: span [{start}, {end}] partially " \
+                    f"overlaps enclosing span ending {stack[-1]}"
+            stack.append(end)
+
+
+def test_mpi_events_carry_virtual_time():
+    events = _run_traced()
+    mpi = [e for e in events if e.cat == "mpi"]
+    assert mpi
+    assert all(e.args is not None and "vt" in e.args for e in mpi)
+    assert all(e.args["vt"] >= 0.0 for e in mpi)
+
+
+def test_chrome_export_tids_match_ranks():
+    _run_traced()
+    records = chrome_trace_events()
+    tids = {r["tid"] for r in records
+            if r["ph"] in ("X", "i") and r["tid"] < 10_000}
+    assert tids == set(range(NPROCS))
+    names = {r["args"]["name"] for r in records
+             if r["ph"] == "M" and r["name"] == "thread_name"}
+    assert {f"rank {r}" for r in range(NPROCS)} <= names

@@ -1,0 +1,147 @@
+"""Tracer core: flag semantics, span emission, session lifecycle."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import repro
+from repro.obs import trace
+
+_SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _child_env(**extra):
+    env = dict(os.environ, **extra)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+# ------------------------------------------------------------- disabled path
+def test_off_by_default_import_state():
+    # conftest stops tracing, but the module default must also be off
+    assert trace.on is False
+    assert not trace.enabled()
+
+
+def test_disabled_span_is_shared_singleton():
+    s1 = trace.span("a")
+    s2 = trace.span("b", cat="mpi", extra=1)
+    assert s1 is trace.NULL_SPAN
+    assert s2 is trace.NULL_SPAN
+    with s1 as inner:
+        inner.add(anything=True)  # no-op, no error
+    assert trace.events() == []
+
+
+def test_disabled_instant_records_nothing():
+    trace.instant("marker", "app", k=1)
+    assert trace.events() == []
+
+
+# -------------------------------------------------------------- enabled path
+def test_span_records_complete_event():
+    trace.start()
+    with trace.span("work", cat="app", n=3) as s:
+        s.add(found=7)
+    trace.stop()
+    (e,) = trace.events()
+    assert e.ph == "X"
+    assert e.name == "work"
+    assert e.cat == "app"
+    assert e.dur >= 0.0
+    assert e.args == {"n": 3, "found": 7}
+
+
+def test_nested_spans_nest_in_time():
+    trace.start()
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+    trace.stop()
+    events = {e.name: e for e in trace.events()}
+    outer, inner = events["outer"], events["inner"]
+    assert outer.ts <= inner.ts
+    assert inner.ts + inner.dur <= outer.ts + outer.dur
+
+
+def test_complete_api_matches_guarded_call_site():
+    trace.start()
+    t0 = time.perf_counter() if trace.on else 0.0
+    if trace.on:
+        trace.complete("op", "mpi", t0, nbytes=128)
+    trace.stop()
+    (e,) = trace.events()
+    assert (e.name, e.cat) == ("op", "mpi")
+    assert e.args == {"nbytes": 128}
+
+
+def test_instant_event():
+    trace.start()
+    trace.instant("mark", "samr", level=2)
+    trace.stop()
+    (e,) = trace.events()
+    assert e.ph == "i"
+    assert e.dur == 0.0
+    assert e.args == {"level": 2}
+
+
+def test_start_clears_and_clear_drops_but_keeps_state():
+    trace.start()
+    trace.instant("first")
+    trace.start()  # clear=True default
+    assert trace.events() == []
+    trace.instant("second")
+    assert [e.name for e in trace.events()] == ["second"]
+    trace.clear()
+    assert trace.events() == []
+    assert trace.on  # clear does not disable
+    trace.stop()
+
+
+def test_stop_keeps_events_readable():
+    trace.start()
+    trace.instant("kept")
+    trace.stop()
+    assert [e.name for e in trace.events()] == ["kept"]
+    trace.instant("dropped")  # disabled again
+    assert len(trace.events()) == 1
+
+
+def test_events_sorted_by_timestamp():
+    trace.start()
+    for i in range(5):
+        trace.instant(f"e{i}")
+    trace.stop()
+    ts = [e.ts for e in trace.events()]
+    assert ts == sorted(ts)
+
+
+# ------------------------------------------------------------ env activation
+def test_repro_trace_env_exports_at_exit(tmp_path):
+    """REPRO_TRACE=1 needs zero app-code changes: importing repro.obs
+    enables tracing and an atexit hook writes the Chrome JSON."""
+    out = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    code = (
+        "import repro.obs as obs\n"
+        "assert obs.trace.on\n"
+        "with obs.span('payload', cat='app'):\n"
+        "    pass\n"
+    )
+    env = _child_env(REPRO_TRACE="1", REPRO_TRACE_PATH=str(out),
+                     REPRO_METRICS_PATH=str(metrics))
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
+    doc = json.loads(out.read_text())
+    assert any(r.get("name") == "payload" and r["ph"] == "X"
+               for r in doc["traceEvents"])
+    assert json.loads(metrics.read_text())["schema"] == 1
+
+
+def test_repro_trace_env_off_values(tmp_path):
+    out = tmp_path / "trace.json"
+    code = "import repro.obs as obs\nassert not obs.trace.on\n"
+    env = _child_env(REPRO_TRACE="0", REPRO_TRACE_PATH=str(out))
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
+    assert not out.exists()

@@ -3,7 +3,7 @@
 import logging
 
 from repro.util import get_logger
-from repro.util.logging import get_rank, set_rank
+from repro.util.logging import get_rank, rank_context, set_rank
 
 
 def test_logger_namespace():
@@ -29,6 +29,49 @@ def test_rank_tagging_thread_local():
         t.join()
     assert seen == {1: 1, 2: 2}
     assert get_rank() is None  # main thread untouched
+
+
+def test_rank_context_sets_and_restores():
+    assert get_rank() is None
+    with rank_context(3):
+        assert get_rank() == 3
+        with rank_context(5):  # nesting restores the outer tag
+            assert get_rank() == 5
+        assert get_rank() == 3
+    assert get_rank() is None
+
+
+def test_rank_context_restores_on_exception():
+    set_rank(1)
+    try:
+        try:
+            with rank_context(9):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_rank() == 1
+    finally:
+        set_rank(None)
+
+
+def test_mpirun_tags_rank_threads_automatically():
+    from repro.mpi import ZERO_COST, mpirun
+
+    ranks = mpirun(3, lambda comm: get_rank(), machine=ZERO_COST)
+    assert ranks == [0, 1, 2]
+    assert get_rank() is None
+
+
+def test_mpirun_single_rank_inline_restores_callers_tag():
+    from repro.mpi import ZERO_COST, mpirun
+
+    set_rank(42)  # pretend the caller is itself a tagged rank-thread
+    try:
+        assert mpirun(1, lambda comm: get_rank(),
+                      machine=ZERO_COST) == [0]
+        assert get_rank() == 42
+    finally:
+        set_rank(None)
 
 
 def test_log_record_carries_rank(caplog):

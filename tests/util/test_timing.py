@@ -32,6 +32,22 @@ def test_stopwatch_reset():
     assert sw.elapsed == 0.0 and not sw.running
 
 
+def test_stopwatch_running_property():
+    sw = Stopwatch()
+    assert not sw.running
+    with sw:
+        assert sw.running
+    assert not sw.running
+
+
+def test_stopwatch_custom_clock():
+    ticks = iter([10.0, 13.5])
+    sw = Stopwatch(clock=lambda: next(ticks))
+    with sw:
+        pass
+    assert sw.elapsed == pytest.approx(3.5)
+
+
 def test_thread_cpu_timer_counts_own_work():
     t = ThreadCpuTimer()
     with t:
