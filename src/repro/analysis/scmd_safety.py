@@ -1,0 +1,248 @@
+"""SCMD shared-state analyzer.
+
+:func:`repro.mpi.launcher.mpirun` runs the P "processors" of an SCMD job
+as rank-threads inside one Python process.  Real MPI ranks get private
+address spaces for free; our rank-threads do **not** — any module-level
+mutable object or mutated class attribute is silently shared across
+ranks, the exact hazard the paper's per-process frameworks avoid.  This
+AST pass flags that state without importing anything:
+
+* ``RA201`` — module-level mutable bound to a non-constant-style name.
+* ``RA202`` — mutable class attribute (shared by every instance on every
+  rank-thread).
+* ``RA203`` — class attribute or module global *mutated* inside a
+  ``go``/``run``/``step``-style method — the write races across ranks.
+* ``RA204`` — module-level mutable bound to a CONSTANT_STYLE name
+  (read-only by convention; reported as info so reviewers see it).
+
+Allowlist: intentionally shared singletons — loggers, the tracing
+module, metric registries — are exempt by name
+(:data:`DEFAULT_ALLOWLIST`), and any flagged line can carry the pragma
+comment ``# scmd: shared`` to opt in deliberately (document why next to
+it).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, finding
+
+#: names whose module-level bindings are deliberately process-wide —
+#: the obs registry/tracer and logging singletons the subsystems share.
+DEFAULT_ALLOWLIST = frozenset({
+    "_log", "log", "logger", "_logger",
+    "_trace", "trace",
+    "registry", "_registry", "_REGISTRY", "REGISTRY",
+    "__all__", "__path__",
+})
+
+#: the pragma that marks a line as intentionally shared.
+PRAGMA = "# scmd: shared"
+
+#: rank-executed entry points whose writes to shared state race.
+STEP_METHODS = frozenset({
+    "go", "run", "step", "advance", "integrate", "apply", "exchange",
+    "regrid", "initialize",
+})
+
+_CONSTANT_NAME = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+#: constructor names producing mutable containers.
+_MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+    "zeros", "ones", "empty", "full", "array", "arange", "linspace",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+})
+
+#: method calls that mutate their receiver.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "sort", "reverse", "fill",
+})
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        return name in _MUTABLE_CALLS
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        # [0] * n style preallocation
+        return _is_mutable_value(node.left) or _is_mutable_value(node.right)
+    return False
+
+
+def _assign_names(node: ast.stmt) -> list[tuple[str, ast.expr | None]]:
+    """(name, value) pairs for plain-name assignments in a statement."""
+    if isinstance(node, ast.Assign):
+        return [(t.id, node.value) for t in node.targets
+                if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [(node.target.id, node.value)]
+    return []
+
+
+@dataclass
+class _Ctx:
+    path: str
+    lines: list[str]
+    allowlist: frozenset[str]
+
+    def pragma(self, lineno: int) -> bool:
+        if 1 <= lineno <= len(self.lines):
+            return PRAGMA in self.lines[lineno - 1]
+        return False
+
+
+def analyze_source(text: str, path: str = "<source>",
+                   allowlist: frozenset[str] = DEFAULT_ALLOWLIST,
+                   ) -> list[Finding]:
+    """Run the SCMD shared-state pass over one Python source text."""
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [finding("RA001", f"not parseable as Python: {exc.msg}",
+                        path=path, line=exc.lineno)]
+    ctx = _Ctx(path=path, lines=text.splitlines(), allowlist=allowlist)
+    out: list[Finding] = []
+    module_mutables: set[str] = set()
+
+    # -- pass 1: module-level and class-level bindings ----------------------
+    for node in tree.body:
+        for name, value in _assign_names(node):
+            if value is None or not _is_mutable_value(value):
+                continue
+            module_mutables.add(name)
+            if name in ctx.allowlist or ctx.pragma(node.lineno):
+                continue
+            if _CONSTANT_NAME.match(name):
+                out.append(finding(
+                    "RA204",
+                    f"module-level mutable {name!r} is shared across "
+                    f"SCMD rank-threads (constant-style name: treated "
+                    f"as read-only)",
+                    path=path, line=node.lineno, context=name))
+            else:
+                out.append(finding(
+                    "RA201",
+                    f"module-level mutable {name!r} is shared across "
+                    f"SCMD rank-threads; make it per-instance, rename "
+                    f"it CONSTANT_STYLE, or mark it '{PRAGMA}'",
+                    path=path, line=node.lineno, context=name))
+
+    class_names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        class_names.add(node.name)
+        for stmt in node.body:
+            for name, value in _assign_names(stmt):
+                if value is None or not _is_mutable_value(value):
+                    continue
+                if name in ctx.allowlist or ctx.pragma(stmt.lineno):
+                    continue
+                out.append(finding(
+                    "RA202",
+                    f"{node.name}.{name} is a mutable class attribute — "
+                    f"one object shared by every instance on every "
+                    f"rank-thread; initialise it in __init__ or "
+                    f"set_services",
+                    path=path, line=stmt.lineno, context=node.name))
+
+    # -- pass 2: mutations inside rank-executed methods --------------------
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name not in STEP_METHODS:
+                continue
+            out.extend(_scan_method(ctx, node.name, method,
+                                    module_mutables, class_names))
+    return out
+
+
+def _scan_method(ctx: _Ctx, class_name: str, method: ast.FunctionDef,
+                 module_mutables: set[str],
+                 class_names: set[str]) -> list[Finding]:
+    out: list[Finding] = []
+    globals_declared: set[str] = set()
+
+    def flag(lineno: int, what: str, target: str) -> None:
+        if ctx.pragma(lineno) or target in ctx.allowlist:
+            return
+        out.append(finding(
+            "RA203",
+            f"{class_name}.{method.name} {what} — rank-threads share "
+            f"this object in SCMD mode; move it to instance state or "
+            f"mark it '{PRAGMA}'",
+            path=ctx.path, line=lineno, context=class_name))
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+        # ClassName.attr = ... / self.__class__.attr = ...
+        targets: list[ast.expr] = []
+        if isinstance(node, (ast.Assign,)):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, ast.Attribute):
+                base = t.value
+                if isinstance(base, ast.Name) and base.id in class_names:
+                    flag(node.lineno,
+                         f"assigns class attribute {base.id}.{t.attr}",
+                         t.attr)
+                elif isinstance(base, ast.Attribute) and \
+                        base.attr == "__class__":
+                    flag(node.lineno,
+                         f"assigns class attribute via __class__.{t.attr}",
+                         t.attr)
+            elif isinstance(t, ast.Name) and t.id in globals_declared:
+                flag(node.lineno, f"rebinds module global {t.id!r}", t.id)
+            elif isinstance(t, ast.Subscript):
+                base = t.value
+                if isinstance(base, ast.Name) and \
+                        base.id in module_mutables:
+                    flag(node.lineno,
+                         f"writes into module-level {base.id!r}", base.id)
+                elif isinstance(base, ast.Attribute):
+                    owner = base.value
+                    if isinstance(owner, ast.Name) and \
+                            owner.id in class_names:
+                        flag(node.lineno,
+                             f"writes into class attribute "
+                             f"{owner.id}.{base.attr}", base.attr)
+                    elif isinstance(owner, ast.Attribute) and \
+                            owner.attr == "__class__":
+                        flag(node.lineno,
+                             f"writes into class attribute via "
+                             f"__class__.{base.attr}", base.attr)
+        # _CACHE.append(...) style mutation of module-level containers
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATING_METHODS and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id in module_mutables:
+            flag(node.lineno,
+                 f"calls {node.func.value.id}.{node.func.attr}() on "
+                 f"module-level state", node.func.value.id)
+    return out
+
+
+def analyze_file(path: str,
+                 allowlist: frozenset[str] = DEFAULT_ALLOWLIST,
+                 ) -> list[Finding]:
+    with open(path, encoding="utf-8") as fh:
+        return analyze_source(fh.read(), path, allowlist)

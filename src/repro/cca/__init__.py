@@ -27,10 +27,10 @@ from repro.cca.component import Component
 from repro.cca.services import Services
 from repro.cca.framework import Framework, ComponentRegistry
 from repro.cca.builder import BuilderService
-from repro.cca.script import run_script, parse_script
+from repro.cca.script import run_script, parse_script, parse_script_tolerant
 from repro.cca.scmd import run_scmd
 from repro.cca.graph import assembly_graph, to_dot, wiring_summary
-from repro.cca.profiling import Profiler, instrument
+from repro.cca.profiling import Profiler, instrument, leaked_ports
 
 __all__ = [
     "assembly_graph",
@@ -38,6 +38,8 @@ __all__ = [
     "wiring_summary",
     "Profiler",
     "instrument",
+    "leaked_ports",
+    "parse_script_tolerant",
     "Port",
     "Component",
     "Services",

@@ -91,8 +91,19 @@ class Framework:
         return component
 
     def destroy(self, instance_name: str) -> None:
-        """Remove a component, dropping every connection touching it."""
+        """Remove a component, dropping every connection touching it.
+
+        Warns about uses ports the component checked out with
+        ``get_port`` and never ``release_port``-ed — the runtime
+        counterpart of the analyzer's RA103 lifecycle lint.
+        """
         comp = self.get_component(instance_name)
+        leaked = self._services[instance_name].port_balances()
+        if leaked:
+            detail = ", ".join(f"{p} (x{n})"
+                               for p, n in sorted(leaked.items()))
+            _log.warning("destroying %s with unreleased ports: %s",
+                         instance_name, detail)
         for (user, uport), (prov, _pport) in list(self._connections.items()):
             if user == instance_name or prov == instance_name:
                 self.disconnect(user, uport)

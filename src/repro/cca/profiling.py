@@ -123,6 +123,22 @@ class Profiler:
         return "\n".join(lines)
 
 
+def leaked_ports(framework: Framework) -> dict[str, dict[str, int]]:
+    """Per-instance nonzero get/release balances across the assembly.
+
+    The runtime counterpart of the static RA103 lint: every
+    ``get_port`` increments a checkout balance on the instance's
+    :class:`~repro.cca.services.Services`, every ``release_port``
+    decrements it, and whatever is left after a run was leaked.
+    """
+    out: dict[str, dict[str, int]] = {}
+    for name in framework.instance_names():
+        balances = framework.services_of(name).port_balances()
+        if balances:
+            out[name] = balances
+    return out
+
+
 def instrument(framework: Framework,
                profiler: Profiler | None = None) -> Profiler:
     """Wrap every provides-port of every instantiated component and

@@ -43,9 +43,16 @@ def _parse_value(tokens: list[str]) -> Any:
     return text
 
 
-def parse_script(text: str) -> list[Directive]:
-    """Parse an assembly script into directives (syntax check only)."""
+def parse_script_tolerant(
+        text: str) -> tuple[list[Directive], list[tuple[int, str]]]:
+    """Parse an assembly script, accumulating *every* syntax error.
+
+    Returns ``(directives, errors)`` where ``errors`` is a list of
+    ``(line_no, message)`` pairs — the static analyzer keeps going past
+    bad lines so one run reports the whole picture.
+    """
     out: list[Directive] = []
+    errors: list[tuple[int, str]] = []
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line or line.startswith("!"):
@@ -55,33 +62,54 @@ def parse_script(text: str) -> list[Directive]:
         args = tokens[1:]
         if verb == "repository":
             if len(args) != 2 or args[0] != "get-global":
-                raise ScriptError(
-                    f"line {line_no}: expected 'repository get-global "
-                    f"<Class>', got {raw!r}")
+                errors.append((line_no,
+                               f"line {line_no}: expected 'repository "
+                               f"get-global <Class>', got {raw!r}"))
+                continue
         elif verb in ("instantiate", "create"):
             if len(args) != 2:
-                raise ScriptError(
-                    f"line {line_no}: expected '{verb} <Class> "
-                    f"<instance>', got {raw!r}")
+                errors.append((line_no,
+                               f"line {line_no}: expected '{verb} <Class> "
+                               f"<instance>', got {raw!r}"))
+                continue
             verb = "instantiate"
         elif verb == "connect":
             if len(args) != 4:
-                raise ScriptError(
-                    f"line {line_no}: expected 'connect <user> <usesPort> "
-                    f"<provider> <providesPort>', got {raw!r}")
+                errors.append((line_no,
+                               f"line {line_no}: expected 'connect <user> "
+                               f"<usesPort> <provider> <providesPort>', "
+                               f"got {raw!r}"))
+                continue
         elif verb == "parameter":
             if len(args) < 3:
-                raise ScriptError(
-                    f"line {line_no}: expected 'parameter <instance> "
-                    f"<key> <value>', got {raw!r}")
+                errors.append((line_no,
+                               f"line {line_no}: expected 'parameter "
+                               f"<instance> <key> <value>', got {raw!r}"))
+                continue
         elif verb == "go":
             if len(args) not in (1, 2):
-                raise ScriptError(
-                    f"line {line_no}: expected 'go <instance> [<port>]', "
-                    f"got {raw!r}")
+                errors.append((line_no,
+                               f"line {line_no}: expected 'go <instance> "
+                               f"[<port>]', got {raw!r}"))
+                continue
         else:
-            raise ScriptError(f"line {line_no}: unknown directive {verb!r}")
+            errors.append((line_no,
+                           f"line {line_no}: unknown directive {verb!r}"))
+            continue
         out.append(Directive(verb, tuple(args), line_no))
+    return out, errors
+
+
+def parse_script(text: str) -> list[Directive]:
+    """Parse an assembly script into directives (syntax check only).
+
+    All bad lines are reported in one :class:`ScriptError` (one message
+    per line, newline-joined) so humans and the analyzer see the full
+    picture in a single pass.
+    """
+    out, errors = parse_script_tolerant(text)
+    if errors:
+        raise ScriptError("\n".join(msg for _line_no, msg in errors))
     return out
 
 

@@ -29,6 +29,8 @@ class Services:
         self.uses: dict[str, str] = {}
         self._connections: dict[str, Port] = {}
         self.parameters = Options()
+        # uses-port checkout balance: +1 per get_port, -1 per release_port
+        self._checked_out: dict[str, int] = {}
 
     # -- provides ------------------------------------------------------------
     def add_provides_port(self, port: Port, port_name: str,
@@ -69,6 +71,8 @@ class Services:
             raise PortNotConnectedError(
                 f"{self.instance_name}: uses port {port_name!r} is not "
                 f"connected") from None
+        self._checked_out[port_name] = \
+            self._checked_out.get(port_name, 0) + 1
         # While tracing is on, hand out a span-emitting proxy labelled by
         # the *providing* side — the disabled cost is this flag check.
         if _trace.on and not isinstance(port, TracingPortProxy):
@@ -80,15 +84,38 @@ class Services:
         return port
 
     def release_port(self, port_name: str) -> None:
-        """Signal that the port is no longer needed (bookkeeping no-op
-        here; CCAFFEINE uses it for reference counting)."""
+        """Return a checked-out port (CCAFFEINE's reference counting).
+
+        Decrements the checkout balance incremented by :meth:`get_port`;
+        :meth:`port_balances` reports what was never returned, and
+        :meth:`Framework.destroy` warns on nonzero balances.  Releasing
+        more than was fetched clamps at zero (harmless double-release).
+        """
         if port_name not in self.uses:
             raise CCAError(
                 f"{self.instance_name}: cannot release unknown port "
                 f"{port_name!r}")
+        balance = self._checked_out.get(port_name, 0)
+        if balance > 0:
+            self._checked_out[port_name] = balance - 1
 
     def is_connected(self, port_name: str) -> bool:
         return port_name in self._connections
+
+    # -- read-only introspection (used by repro.analysis) -----------------------
+    def uses_table(self) -> dict[str, str]:
+        """Snapshot of the declared uses ports (``name -> port_type``)."""
+        return dict(self.uses)
+
+    def provides_table(self) -> dict[str, str]:
+        """Snapshot of the exported provides ports
+        (``name -> port_type``, port objects omitted)."""
+        return {name: ptype for name, (_port, ptype)
+                in self.provides.items()}
+
+    def port_balances(self) -> dict[str, int]:
+        """Nonzero get/release balances — the leaked checkouts."""
+        return {name: n for name, n in self._checked_out.items() if n}
 
     # -- framework-provided amenities -----------------------------------------
     def get_parameter(self, key: str, default: Any = None) -> Any:

@@ -60,3 +60,7 @@ class HydroError(ReproError):
 
 class ObsError(ReproError):
     """Errors from the observability subsystem (metric type clashes...)."""
+
+
+class AnalysisError(ReproError):
+    """Errors from the static-analysis subsystem (unresolvable targets)."""

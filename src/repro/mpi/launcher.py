@@ -5,6 +5,12 @@ instances of the framework, run with the same script, cause P identically
 configured frameworks to load and exist on as many processors."  Here the
 "processors" are rank-threads inside one Python process; the program is any
 callable taking the rank's world communicator.
+
+Shared-state hazard: real MPI ranks get private address spaces; these
+rank-threads do **not**.  Module-level mutable objects and mutated class
+attributes alias across ranks — run ``python -m repro.analysis`` (the
+RA2xx findings in :mod:`repro.analysis.scmd_safety`) to flag such state
+before launching, and mark deliberate singletons ``# scmd: shared``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,71 @@
+"""CLI: target resolution, formats, exit codes."""
+
+import json
+import pathlib
+
+from repro.analysis.__main__ import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_codes_flag(capsys):
+    assert main(["--codes"]) == 0
+    out = capsys.readouterr().out
+    assert "RA001" in out and "RA203" in out
+
+
+def test_bad_script_exits_1_with_line_numbered_findings(capsys):
+    rc = main([str(FIXTURES / "bad_wiring.rc")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "bad_wiring.rc:15: RA006 error" in out
+
+
+def test_json_format(capsys):
+    assert main(["--format", "json",
+                 str(FIXTURES / "bad_component.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["error"] >= 2
+    assert any(f["code"] == "RA104" for f in doc["findings"])
+
+
+def test_strict_gates_warnings(capsys):
+    target = str(FIXTURES / "bad_scmd.py")
+    assert main([target]) == 0          # warnings only: passes default gate
+    assert main(["--strict", target]) == 1
+
+
+def test_allow_extends_scmd_allowlist(capsys):
+    target = str(FIXTURES / "bad_scmd.py")
+    assert main(["--strict", "--allow", "cache", "--allow", "results",
+                 "--allow", "history", "--allow", "_counts", target]) == 0
+
+
+def test_assembly_target(capsys):
+    assert main(["ignition0d"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_package_target(capsys):
+    assert main(["repro.components"]) == 0
+
+
+def test_directory_target(capsys):
+    assert main([str(REPO / "examples")]) == 0
+
+
+def test_unresolvable_target_exits_2(capsys):
+    assert main(["no/such/thing.rc"]) == 2
+    assert "cannot resolve target" in capsys.readouterr().err
+
+
+def test_min_severity_filters_text(capsys):
+    main(["--min-severity", "error", str(FIXTURES / "bad_component.py")])
+    out = capsys.readouterr().out
+    assert "RA103" not in out
+    assert "RA101" in out
+
+
+def test_default_surface_is_clean(capsys):
+    assert main([]) == 0

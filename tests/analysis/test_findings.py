@@ -1,0 +1,77 @@
+"""The findings model: codes, severities, report gating and rendering."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import (
+    CODES,
+    Finding,
+    Report,
+    Severity,
+    codes_table,
+    finding,
+)
+
+
+def test_severity_ordering_and_str():
+    assert Severity.INFO < Severity.WARNING < Severity.ERROR
+    assert str(Severity.ERROR) == "error"
+    assert Severity.parse("warning") is Severity.WARNING
+    with pytest.raises(ValueError, match="unknown severity"):
+        Severity.parse("fatal")
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError, match="unknown finding code"):
+        Finding(code="RA999", message="nope")
+
+
+def test_finding_defaults_severity_from_table():
+    f = finding("RA006", "boom", path="a.rc", line=3)
+    assert f.severity is Severity.ERROR
+    assert f.title == CODES["RA006"][1]
+    assert f.format() == "a.rc:3: RA006 error: boom"
+
+
+def test_finding_severity_override():
+    f = finding("RA012", "meh", severity=Severity.WARNING)
+    assert f.severity is Severity.WARNING
+
+
+def test_report_counts_gate_and_sorting():
+    r = Report([
+        finding("RA012", "later", path="b.rc", line=9),
+        finding("RA006", "first", path="a.rc", line=1),
+    ])
+    assert r.counts() == {"error": 1, "warning": 0, "info": 1}
+    assert [f.path for f in r.sorted()] == ["a.rc", "b.rc"]
+    assert r.exit_code() == 1
+    assert r.exit_code(Severity.WARNING) == 1
+    assert Report([finding("RA012", "x")]).exit_code() == 0
+
+
+def test_report_text_severity_floor():
+    r = Report([finding("RA012", "hidden info"),
+                finding("RA006", "visible error")])
+    text = r.format_text(Severity.ERROR)
+    assert "visible error" in text
+    assert "hidden info" not in text
+    assert "1 error(s), 0 warning(s), 1 info note(s)" in text
+
+
+def test_report_json_schema():
+    r = Report([finding("RA006", "boom", path="a.rc", line=3)])
+    doc = json.loads(r.to_json())
+    assert doc["schema"] == Report.SCHEMA
+    assert doc["counts"]["error"] == 1
+    (entry,) = doc["findings"]
+    assert entry["code"] == "RA006"
+    assert entry["severity"] == "error"
+    assert entry["line"] == 3
+
+
+def test_codes_table_lists_every_code():
+    table = codes_table()
+    for code in CODES:
+        assert code in table

@@ -1,0 +1,113 @@
+"""SCMD shared-state analyzer: RA2xx codes, allowlist, pragma."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.findings import Severity
+from repro.analysis.scmd_safety import (
+    DEFAULT_ALLOWLIST,
+    analyze_file,
+    analyze_source,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint(code, **kw):
+    return analyze_source(textwrap.dedent(code), "<test>", **kw)
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def test_module_level_mutable_ra201():
+    (f,) = lint("cache = {}\n")
+    assert f.code == "RA201"
+    assert f.severity is Severity.WARNING
+    assert "scmd: shared" in f.message
+
+
+def test_constant_style_name_downgrades_to_ra204():
+    (f,) = lint("TABLE = {'a': 1}\n")
+    assert f.code == "RA204"
+    assert f.severity is Severity.INFO
+    (f,) = lint("_PRIVATE_TABLE = [1, 2]\n")
+    assert f.code == "RA204"
+
+
+def test_immutable_module_state_is_fine():
+    assert lint("x = 3\nname = 'hi'\npair = (1, 2)\n") == []
+
+
+def test_mutable_constructor_calls_flagged():
+    assert codes(lint("buf = np.zeros(10)\n")) == {"RA201"}
+    assert codes(lint("items = list()\n")) == {"RA201"}
+    assert codes(lint("q = deque()\n")) == {"RA201"}
+
+
+def test_allowlist_and_pragma_suppress():
+    assert lint("_log = {}\n") == []          # default allowlist
+    assert lint("shared = {}  # scmd: shared\n") == []
+    assert lint("mine = {}\n",
+                allowlist=DEFAULT_ALLOWLIST | {"mine"}) == []
+
+
+def test_mutable_class_attribute_ra202():
+    (f,) = lint("""\
+        class C:
+            history = []
+        """)
+    assert f.code == "RA202"
+    assert "C.history" in f.message
+
+
+def test_class_attr_write_in_go_ra203():
+    findings = lint("""\
+        class C:
+            def go(self):
+                C.state = 1
+                self.__class__.other = 2
+        """)
+    assert [f.code for f in findings] == ["RA203", "RA203"]
+
+
+def test_module_state_mutation_in_step_ra203():
+    findings = lint("""\
+        _cache = {}  # scmd: shared
+
+        class C:
+            def step(self):
+                _cache["k"] = 1
+                _cache.update(a=2)
+        """)
+    # the pragma silences the *binding*, not writes from rank code
+    assert [f.code for f in findings if f.line in (5, 6)] \
+        == ["RA203", "RA203"]
+
+
+def test_mutation_outside_step_methods_not_flagged():
+    assert lint("""\
+        registry = {}
+
+        class C:
+            def configure(self):
+                registry["k"] = 1
+        """) == []
+
+
+def test_instance_state_is_fine():
+    assert lint("""\
+        class C:
+            def go(self):
+                self.results = []
+                self.results.append(1)
+        """) == []
+
+
+def test_bad_scmd_fixture_covers_the_codes():
+    findings = analyze_file(str(FIXTURES / "bad_scmd.py"))
+    assert {"RA201", "RA202", "RA203", "RA204"} == codes(findings)
+    assert len([f for f in findings if f.code == "RA203"]) == 5
+    # _log (allowlisted) and the pragma'd lines stay silent
+    assert not [f for f in findings if f.context in ("_log", "shared_ok")]

@@ -183,6 +183,68 @@ def test_release_port():
         fw.services_of("r").release_port("bogus")
 
 
+def test_port_checkout_balance_tracking():
+    fw = assembled()
+    fw.connect("r", "words", "g", "greeting")
+    srv = fw.services_of("r")
+    assert srv.port_balances() == {}
+    srv.get_port("words")
+    srv.get_port("words")
+    assert srv.port_balances() == {"words": 2}
+    srv.release_port("words")
+    assert srv.port_balances() == {"words": 1}
+    srv.release_port("words")
+    assert srv.port_balances() == {}
+    # over-release clamps at zero instead of going negative
+    srv.release_port("words")
+    assert srv.port_balances() == {}
+
+
+def test_leaked_ports_report():
+    from repro.cca import leaked_ports
+
+    fw = assembled()
+    fw.connect("r", "words", "g", "greeting")
+    assert leaked_ports(fw) == {}
+    fw.go("r")  # _RunnerGo fetches "words" and never releases
+    assert leaked_ports(fw) == {"r": {"words": 1}}
+
+
+def test_destroy_warns_on_unreleased_ports(caplog):
+    import logging
+
+    fw = assembled()
+    fw.connect("r", "words", "g", "greeting")
+    fw.go("r")
+    with caplog.at_level(logging.WARNING, logger="repro.cca.framework"):
+        fw.destroy("r")
+    assert any("unreleased ports" in rec.message and "words" in rec.message
+               for rec in caplog.records)
+
+
+def test_destroy_after_release_does_not_warn(caplog):
+    import logging
+
+    fw = assembled()
+    fw.connect("r", "words", "g", "greeting")
+    fw.go("r")
+    fw.services_of("r").release_port("words")
+    with caplog.at_level(logging.WARNING, logger="repro.cca.framework"):
+        fw.destroy("r")
+    assert not [rec for rec in caplog.records
+                if "unreleased ports" in rec.message]
+
+
+def test_services_introspection_tables():
+    fw = assembled()
+    srv = fw.services_of("r")
+    assert srv.uses_table() == {"words": "GreetPort"}
+    assert srv.provides_table() == {"go": "GoPort"}
+    # snapshots, not live views
+    srv.uses_table()["words"] = "Mutated"
+    assert srv.uses["words"] == "GreetPort"
+
+
 def test_provides_must_be_port():
     class Bad(Component):
         def set_services(self, services):

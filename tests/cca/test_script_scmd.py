@@ -97,6 +97,27 @@ def test_parse_reports_line_numbers():
         parse_script("# one\n# two\nbogus directive\n")
 
 
+def test_parse_accumulates_all_errors():
+    text = "bogus one\ninstantiate Echo e\nconnect a b\ngo\n"
+    with pytest.raises(ScriptError) as excinfo:
+        parse_script(text)
+    message = str(excinfo.value)
+    assert "line 1" in message
+    assert "line 3" in message
+    assert "line 4" in message
+    assert "line 2" not in message
+
+
+def test_parse_script_tolerant_returns_good_directives():
+    from repro.cca.script import parse_script_tolerant
+
+    directives, errors = parse_script_tolerant(
+        "bogus one\ninstantiate Echo e\nconnect a b\n")
+    assert [(d.verb, d.line_no) for d in directives] == [("instantiate", 2)]
+    assert [line_no for line_no, _msg in errors] == [1, 3]
+    assert all(msg.startswith(f"line {n}") for n, msg in errors)
+
+
 # ------------------------------------------------------------------ running
 def make_framework():
     fw = Framework()
