@@ -9,7 +9,7 @@ metrics for both policies on a realistic clustered patch set.
 
 import numpy as np
 
-from repro.bench.reporting import format_table, save_report
+from repro.bench.reporting import format_table, save_json, save_report
 from repro.samr import Box, cluster_flags
 from repro.samr.loadbalance import balance_greedy, balance_sfc, load_imbalance
 
@@ -59,6 +59,14 @@ def run_ablation(nranks=8):
 def test_ablation_load_balancer(benchmark):
     result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     save_report("ablation_balancer", result["report"])
+    save_json("ablation_balancer", {
+        "bench": "ablation_balancer",
+        "n_boxes": result["n_boxes"],
+        "policies": {
+            name: {"imbalance": imb, "locality": loc}
+            for name, (imb, loc) in result["metrics"].items()
+        },
+    })
     assert result["n_boxes"] >= 8
     greedy_imb, greedy_loc = result["metrics"]["greedy-lpt"]
     sfc_imb, sfc_loc = result["metrics"]["morton-sfc"]

@@ -9,7 +9,7 @@ deposited circulation on the same shock-interface run.
 import numpy as np
 
 from repro.apps import run_shock_interface
-from repro.bench.reporting import format_table, save_report
+from repro.bench.reporting import format_table, save_json, save_report
 from repro.hydro import efm_flux, godunov_flux
 from repro.util.options import fast_mode
 
@@ -44,6 +44,11 @@ def run_ablation():
 def test_ablation_flux_scheme(benchmark):
     result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     save_report("ablation_flux", result["report"])
+    save_json("ablation_flux", {
+        "bench": "ablation_flux",
+        "contact_mass_leak": result["leak"],
+        "circulation": result["circulation"],
+    })
     # Godunov resolves the contact exactly; EFM leaks (more diffusive)
     assert result["leak"]["godunov"] < 1e-10
     assert result["leak"]["efm"] > 1e-4

@@ -8,7 +8,7 @@ against the exact solution and sharpness of the captured contact.
 
 import numpy as np
 
-from repro.bench.reporting import format_table, save_report
+from repro.bench.reporting import format_table, save_json, save_report
 from repro.hydro import cfl_dt, euler_rhs, fill_outflow, prim_to_cons
 from repro.hydro.riemann_exact import sample_riemann
 from repro.hydro.state import cons_to_prim
@@ -86,6 +86,10 @@ def run_ablation():
 def test_ablation_limiter_choice(benchmark):
     result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     save_report("ablation_limiter", result["report"])
+    save_json("ablation_limiter", {
+        "bench": "ablation_limiter",
+        "l1_density_error": result["errors"],
+    })
     errors = result["errors"]
     # all limiters converge to the exact solution at this resolution
     assert all(e < 0.02 for e in errors.values())

@@ -11,7 +11,7 @@ from repro.apps.assemblies import format_assembly_table
 from repro.apps.ignition0d import build_ignition0d
 from repro.apps.reaction_diffusion import build_reaction_diffusion
 from repro.apps.shock_interface import build_shock_interface
-from repro.bench import save_report
+from repro.bench import save_json, save_report
 from repro.cca import Framework
 
 
@@ -36,6 +36,15 @@ def test_assemblies_tables_and_wiring(benchmark):
         report_parts.append(describe_assembly(fw))
         report_parts.append("")
     path = save_report("tables1_2_3_assemblies", "\n".join(report_parts))
+    save_json("tables1_2_3_assemblies", {
+        "bench": "assemblies",
+        "tables": {name: assembly_table(name) for name in frameworks},
+        "connections": {
+            name: [list(user) + list(provider)
+                   for user, provider in sorted(fw.connections().items())]
+            for name, fw in frameworks.items()
+        },
+    })
 
     # Table 1: the 0D code has no mesh; CvodeComponent + ThermoChemistry
     # form the implicit subsystem

@@ -5,13 +5,19 @@ Paper claims: the three hot spots evolve into spreading fronts (Fig 3)
 and the ratio-2 refinement hierarchy follows the thin structures (Fig 4).
 """
 
-from repro.bench import run_fig3_fig4, save_report
+from repro.bench import run_fig3_fig4, save_json, save_report
 
 
 def test_fig3_fig4_flame_evolution(benchmark):
     result = benchmark.pedantic(run_fig3_fig4, rounds=1, iterations=1)
     path = save_report("fig3_fig4_flame", result["report"])
+    json_path = save_json("fig3_fig4_flame", {
+        "figure": "fig3_fig4",
+        "refined": result["refined"],
+        "snapshots": result["snapshots"],
+    })
     benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     snaps = result["snapshots"]
     assert len(snaps) >= 3
     # initial state: cold background + hot spots

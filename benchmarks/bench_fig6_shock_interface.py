@@ -5,14 +5,24 @@ interface (zeta = 0.5 band) survives as a coherent feature, and the steep
 density/pressure gradients live on the finest AMR level.
 """
 
-from repro.bench import run_fig6, save_report
+from repro.bench import run_fig6, save_json, save_report
 from repro.util.options import fast_mode
 
 
 def test_fig6_density_field(benchmark):
     result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
     path = save_report("fig6_density_field", result["report"])
+    json_path = save_json("fig6_density_field", {
+        "figure": "fig6",
+        "rho_range": list(result["rho_range"]),
+        "p_max": result["p_max"],
+        "p_post_shock": result["p_post_shock"],
+        "reflected_shocks": result["reflected_shocks"],
+        "circulation_final": result["result"]["circulation_final"],
+        "census": result["census"],
+    })
     benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     rho_min, rho_max = result["rho_range"]
     # density spans quiescent air to shocked Freon
     assert rho_min > 0.5

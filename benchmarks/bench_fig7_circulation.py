@@ -6,14 +6,21 @@ maximum deposition is closest to the analytic estimate for the deepest
 hierarchy.
 """
 
-from repro.bench import run_fig7, save_report
+from repro.bench import run_fig7, save_json, save_report
 from repro.util.options import fast_mode
 
 
 def test_fig7_circulation_convergence(benchmark):
     result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
     path = save_report("fig7_circulation", result["report"])
+    json_path = save_json("fig7_circulation", {
+        "figure": "fig7",
+        "monotone": result["monotone"],
+        "finest_gap": result["finest_gap"],
+        "curves": {str(nlev): c for nlev, c in result["curves"].items()},
+    })
     benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     curves = result["curves"]
     # negative (baroclinic) deposition on every hierarchy
     for nlev, c in curves.items():

@@ -4,13 +4,22 @@ Paper claim: "increasing the number of processors (and the problem size)
 does not make an appreciable difference" — the curves are flat in P.
 """
 
-from repro.bench import run_fig8, save_report
+from repro.bench import run_fig8, save_json, save_report
 
 
 def test_fig8_constant_workload_flat(benchmark):
     result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
     path = save_report("fig8_weak_scaling", result["report"])
+    json_path = save_json("fig8_weak_scaling", {
+        "figure": "fig8",
+        "flatness": {str(n): v for n, v in result["flatness"].items()},
+        "curves": [
+            {"n_local": r.n_local, "procs": r.procs, "times": r.times}
+            for r in result["results"]
+        ],
+    })
     benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     # flat curves: max/min over the P sweep stays near 1 for every size
     # (the sweep caps at P = 16 — see repro.bench.scaling for the
     # one-core emulation caveat beyond that)

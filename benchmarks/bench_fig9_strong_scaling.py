@@ -5,13 +5,20 @@ the smaller (200^2) problem departs at high processor counts (worst
 efficiency 73% at P = 48, where the per-rank patch is only 29^2).
 """
 
-from repro.bench import run_fig9, save_report
+from repro.bench import run_fig9, save_json, save_report
 
 
 def test_fig9_strong_scaling_knee(benchmark):
     result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
     path = save_report("fig9_strong_scaling", result["report"])
+    json_path = save_json("fig9_strong_scaling", {
+        "figure": "fig9",
+        "worst_small": result["worst_small"],
+        "worst_large": result["worst_large"],
+        "curves": {str(n): c for n, c in result["curves"].items()},
+    })
     benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     curves = result["curves"]
     sizes = sorted(curves)
     small, large = sizes[0], sizes[-1]

@@ -30,6 +30,7 @@ from repro.components import (
     StatisticsComponent,
     ThermoChemistry,
 )
+from repro.resilience.hooks import CheckpointHook
 
 
 class _Go(GoPort):
@@ -72,17 +73,28 @@ class Ignition0DDriver(Component):
         y = ic.initial_state()  # [T, Y..., P]
         T0, P0 = float(y[0]), float(y[-1])
         rho = model.configure(T0, P0, y[1:-1])
-        stats.record("T", 0.0, T0)
-        stats.record("P", 0.0, P0)
         t = 0.0
         nfe = 0
-        for k in range(1, n_out + 1):
+        start_k = 0
+        # mesh-less assembly: the state vector rides in checkpoint extras
+        hook = CheckpointHook(services, mesh_uses=None)
+        resumed = hook.resume()
+        if resumed is not None:
+            start_k, t = resumed.step, resumed.t
+            y = np.asarray(resumed.extras["y"], dtype=float)
+            nfe = int(resumed.extras["nfe"])
+        else:
+            stats.record("T", 0.0, T0)
+            stats.record("P", 0.0, P0)
+        for k in range(start_k + 1, n_out + 1):
             t_next = t_end * k / n_out
             y = solver.integrate(t, y, t_next)
             nfe += solver.last_nfe()
             t = t_next
             stats.record("T", t, float(y[0]))
             stats.record("P", t, float(y[-1]))
+            hook.after_step(k, t, extras={"y": [float(v) for v in y],
+                                          "nfe": nfe})
         T_final, Y_final, P_final = float(y[0]), y[1:-1], float(y[-1])
         i_h2o = mech.species_index("H2O")
         return {

@@ -29,6 +29,7 @@ from repro.components import (
     StatisticsComponent,
     ThermoChemistry,
 )
+from repro.resilience.hooks import CheckpointHook
 
 
 class _Go(GoPort):
@@ -47,7 +48,8 @@ class ReactionDiffusionDriver(Component):
 
     Parameters: ``n_steps``, ``dt`` (0 = dynamic from the RKC stage
     budget), ``regrid_interval`` (0 = adaptivity off), ``chemistry_on``
-    (default 1), ``initial_regrids``.
+    (default 1), ``initial_regrids``; plus the checkpoint/restart set
+    read by :class:`repro.resilience.hooks.CheckpointHook`.
     """
 
     def set_services(self, services) -> None:
@@ -94,8 +96,14 @@ class ReactionDiffusionDriver(Component):
             for lev in range(h.nlevels):
                 data.exchange_ghosts("flow", lev)
 
-        t = 0.0
-        for step in range(1, n_steps + 1):
+        t, start_step = 0.0, 0
+        hook = CheckpointHook(services)
+        resumed = hook.resume()
+        if resumed is not None:
+            start_step, t = resumed.step, resumed.t
+            dobj = data.data("flow")  # adopt() swapped the DataObjects
+            h = mesh.hierarchy()
+        for step in range(start_step + 1, n_steps + 1):
             dt = dt_fixed if dt_fixed > 0.0 else \
                 explicit.stable_dt([dobj], t)
             if chemistry_on:
@@ -109,6 +117,7 @@ class ReactionDiffusionDriver(Component):
             stats.record("T_max", t, dobj.max_norm(
                 comm=services.get_comm(), k=0))
             stats.record("ncells", t, float(h.total_cells()))
+            hook.after_step(step, t)
 
         return {
             "t_final": t,

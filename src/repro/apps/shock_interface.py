@@ -33,6 +33,7 @@ from repro.components import (
     States,
 )
 from repro.hydro.diagnostics import hierarchy_interface_circulation
+from repro.resilience.hooks import CheckpointHook
 
 
 class _Go(GoPort):
@@ -111,6 +112,13 @@ class ShockInterfaceDriver(Component):
 
         t, step = 0.0, 0
         gamma_series = []
+        hook = CheckpointHook(services)
+        resumed = hook.resume()
+        if resumed is not None:
+            step, t = resumed.step, resumed.t
+            dobj = data.data("U")  # adopt() swapped the DataObjects
+            h = mesh.hierarchy()
+            gamma_series = stats.series("circulation")
         while t < t_end - 1e-12 and step < max_steps:
             dt = min(integrator.stable_dt([dobj], t), t_end - t)
             integrator.advance([dobj], t, dt)
@@ -122,6 +130,7 @@ class ShockInterfaceDriver(Component):
             circ = hierarchy_interface_circulation(dobj, gamma, comm=comm)
             stats.record("circulation", (t - t_contact) / tau, circ)
             gamma_series.append(((t - t_contact) / tau, circ))
+            hook.after_step(step, t)
 
         return {
             "t_final": t,

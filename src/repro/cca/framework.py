@@ -167,6 +167,43 @@ class Framework:
         """Snapshot of the wiring (used by assembly dumps / Figs 1, 2, 5)."""
         return dict(self._connections)
 
+    def provider_of(self, user: str, uses_port: str
+                    ) -> tuple[str, str] | None:
+        """``(provider, provides_port)`` wired to ``user.uses_port``, or
+        None when unconnected."""
+        return self._connections.get((user, uses_port))
+
+    # -- checkpoint/restart -------------------------------------------------------
+    def capture_state(self) -> dict[str, dict]:
+        """Snapshot every Checkpointable component's evolving state.
+
+        Components not implementing the protocol (see
+        :mod:`repro.resilience.protocol`) are stateless by definition
+        here and simply omitted.
+        """
+        states: dict[str, dict] = {}
+        for name, comp in self._components.items():
+            fn = getattr(comp, "checkpoint_state", None)
+            if callable(fn):
+                states[name] = fn()
+        return states
+
+    def restore_state(self, states: dict[str, dict]) -> None:
+        """Re-impose captured component states after re-instantiation.
+
+        Unknown instance names are an error (the restored assembly must
+        match the one that checkpointed); components that dropped the
+        protocol raise too, so silent state loss is impossible.
+        """
+        for name, state in states.items():
+            comp = self.get_component(name)
+            fn = getattr(comp, "restore_state", None)
+            if not callable(fn):
+                raise CCAError(
+                    f"component {name!r} has checkpointed state but "
+                    f"implements no restore_state()")
+            fn(state)
+
     # -- parameters & execution ---------------------------------------------------
     def set_parameter(self, instance_name: str, key: str,
                       value: Any) -> None:

@@ -13,6 +13,7 @@ from repro.cca.port import Port
 from repro.cca.portproxy import TracingPortProxy
 from repro.errors import CCAError, PortNotConnectedError, PortTypeError
 from repro.obs import trace as _trace
+from repro.resilience import faults as _faults
 from repro.util.options import Options
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -73,13 +74,17 @@ class Services:
                 f"connected") from None
         self._checked_out[port_name] = \
             self._checked_out.get(port_name, 0) + 1
+        wired = self._framework._connections.get(
+            (self.instance_name, port_name))
+        label = (f"{wired[0]}:{wired[1]}" if wired
+                 else f"{self.instance_name}:{port_name}")
+        # While fault injection is armed, wrap ports whose label the plan
+        # targets — the disabled cost is this flag check.
+        if _faults.on and _faults.wraps_label(label):
+            port = _faults.FaultPortProxy(port, label)
         # While tracing is on, hand out a span-emitting proxy labelled by
         # the *providing* side — the disabled cost is this flag check.
         if _trace.on and not isinstance(port, TracingPortProxy):
-            wired = self._framework._connections.get(
-                (self.instance_name, port_name))
-            label = (f"{wired[0]}:{wired[1]}" if wired
-                     else f"{self.instance_name}:{port_name}")
             return TracingPortProxy(port, label)
         return port
 

@@ -54,3 +54,17 @@ class CvodeComponent(Component):
         self.solver = _Solver(self)
         services.register_uses_port("rhs", "VectorRHSPort")
         services.add_provides_port(self.solver, "solver")
+
+    # -- Checkpointable (repro.resilience.protocol) -------------------------
+    # The CVode instance itself is created afresh inside every
+    # ``integrate()`` call, so the only state to carry across a restart is
+    # the cumulative call accounting.
+    def checkpoint_state(self) -> dict:
+        return {"last_nfe": self.solver._last_nfe,
+                "total_nfe": self.solver.total_nfe,
+                "total_steps": self.solver.total_steps}
+
+    def restore_state(self, state: dict) -> None:
+        self.solver._last_nfe = int(state["last_nfe"])
+        self.solver.total_nfe = int(state["total_nfe"])
+        self.solver.total_steps = int(state["total_steps"])

@@ -37,9 +37,17 @@ class ErrorEstAndRegrid(Component):
 
     def set_services(self, services) -> None:
         self.services = services
+        self.port = _Regrid(self)
         services.register_uses_port("mesh", "MeshPort")
         services.register_uses_port("data", "DataObjectPort")
-        services.add_provides_port(_Regrid(self), "regrid")
+        services.add_provides_port(self.port, "regrid")
+
+    # -- Checkpointable (repro.resilience.protocol) -------------------------
+    def checkpoint_state(self) -> dict:
+        return {"nregrids": self.port.nregrids}
+
+    def restore_state(self, state: dict) -> None:
+        self.port.nregrids = int(state["nregrids"])
 
     def run_regrid(self) -> None:
         mesh = self.services.get_port("mesh")

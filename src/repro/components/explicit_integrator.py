@@ -85,6 +85,16 @@ class ExplicitIntegrator(Component):
         services.register_uses_port("data", "DataObjectPort")
         services.add_provides_port(self.port, "integrator")
 
+    # -- Checkpointable (repro.resilience.protocol) -------------------------
+    def checkpoint_state(self) -> dict:
+        return {"nfe": self.port.nfe, "nsteps": self.port.nsteps,
+                "last_stages": self.port.last_stages}
+
+    def restore_state(self, state: dict) -> None:
+        self.port.nfe = int(state["nfe"])
+        self.port.nsteps = int(state["nsteps"])
+        self.port.last_stages = int(state["last_stages"])
+
     def global_bound(self, t: float) -> float:
         """Spectral bound (the provider already reduces over the cohort)."""
         return float(self.services.get_port("bound").spectral_bound(t))

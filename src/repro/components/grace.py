@@ -132,6 +132,24 @@ class GrACEComponent(Component):
         self._hierarchy.build_base_level()
         return self._hierarchy
 
+    def adopt(self, hierarchy: Hierarchy,
+              dataobjs: dict[str, DataObject]) -> None:
+        """Install a restored hierarchy + DataObjects (checkpoint restart).
+
+        The rebuilt hierarchy carries the default balancer (callables are
+        not serialized), so it is re-resolved exactly as in :meth:`build`
+        — a post-restore regrid must assign the same owners an
+        uninterrupted run would.
+        """
+        try:
+            hierarchy.balancer = self.services.get_port("balancer").assign
+        except PortNotConnectedError:
+            hierarchy.balancer = {
+                "greedy": balance_greedy, "sfc": balance_sfc,
+            }[self.services.parameters.get_str("balancer", "greedy")]
+        self._hierarchy = hierarchy
+        self._data = dict(dataobjs)
+
     def require_hierarchy(self) -> Hierarchy:
         if self._hierarchy is None:
             raise CCAError("mesh not built yet (call MeshPort."

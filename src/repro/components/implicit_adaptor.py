@@ -61,6 +61,15 @@ class ImplicitIntegrator(Component):
         services.register_uses_port("data", "DataObjectPort")
         services.add_provides_port(self.port, "integrator")
 
+    # -- Checkpointable (repro.resilience.protocol) -------------------------
+    def checkpoint_state(self) -> dict:
+        return {"cells_integrated": self.port.cells_integrated,
+                "nsteps": self.port.nsteps}
+
+    def restore_state(self, state: dict) -> None:
+        self.port.cells_integrated = int(state["cells_integrated"])
+        self.port.nsteps = int(state["nsteps"])
+
     def advance(self, dobj: DataObject, t: float, dt: float,
                 port: _ChemIntegrator) -> float:
         mode = self.services.get_parameter("mode", "cvode")

@@ -95,6 +95,14 @@ class ExplicitIntegratorRK2(Component):
         services.register_uses_port("data", "DataObjectPort")
         services.add_provides_port(self.port, "integrator")
 
+    # -- Checkpointable (repro.resilience.protocol) -------------------------
+    def checkpoint_state(self) -> dict:
+        return {"nfe": self.port.nfe, "nsteps": self.port.nsteps}
+
+    def restore_state(self, state: dict) -> None:
+        self.port.nfe = int(state["nfe"])
+        self.port.nsteps = int(state["nsteps"])
+
     def advance(self, dobj: DataObject, t: float, dt: float,
                 port: _RK2Port) -> float:
         rhs_port = self.services.get_port("rhs")

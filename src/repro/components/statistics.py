@@ -52,3 +52,13 @@ class StatisticsComponent(Component):
         self.services = services
         self.stats = _Stats()
         services.add_provides_port(self.stats, "stats")
+
+    # -- Checkpointable (repro.resilience.protocol) -------------------------
+    def checkpoint_state(self) -> dict:
+        return {"series": {k: [[t, v] for t, v in pts]
+                           for k, pts in self.stats._series.items()}}
+
+    def restore_state(self, state: dict) -> None:
+        self.stats._series = {
+            k: [(float(t), float(v)) for t, v in pts]
+            for k, pts in state["series"].items()}

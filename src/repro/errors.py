@@ -64,3 +64,19 @@ class ObsError(ReproError):
 
 class AnalysisError(ReproError):
     """Errors from the static-analysis subsystem (unresolvable targets)."""
+
+
+class ResilienceError(ReproError):
+    """Errors from the resilience subsystem (checkpoint/restart, faults)."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be written, located, or restored (format
+    version mismatch, missing rank shards, corrupt manifest...)."""
+
+
+class InjectedFault(ResilienceError):
+    """A deliberately injected failure (fault-injection testing).
+
+    Raised only while :mod:`repro.resilience.faults` is active; catching
+    it in production code defeats the purpose of chaos testing."""

@@ -40,6 +40,7 @@ from repro.errors import CommAbortedError, MPIError
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_registry as _obs_registry
+from repro.resilience import faults as _faults
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -293,6 +294,14 @@ class Comm:
         payload, nbytes = _isolate(obj)
         machine = self.world.machine
         avail = self._state.clock + machine.p2p_time(nbytes)
+        # Fault injection (off by default; the disabled cost is this flag
+        # check): a send may be silently dropped or its flight delayed.
+        if _faults.on:
+            fate = _faults.on_send(self.global_rank, dest, tag)
+            if fate is _faults.DROP:
+                self._state.clock += machine.send_overhead(nbytes)
+                return
+            avail += fate
         msg = _Message(self.rank, tag, payload, nbytes, avail,
                        self.world.next_serial())
         self._state.clock += machine.send_overhead(nbytes)

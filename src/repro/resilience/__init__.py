@@ -1,0 +1,54 @@
+"""repro.resilience — checkpoint/restart, fault injection, supervised runs.
+
+Three layers, composable but separable:
+
+* :mod:`repro.resilience.checkpoint` — application-level checkpoints: the
+  SAMR state (via :mod:`repro.samr.checkpoint`) plus driver counters,
+  Checkpointable component states and the rank's virtual clock, in one
+  versioned per-rank-sharded artifact.
+* :mod:`repro.resilience.faults` — deterministic seeded fault injection
+  (rank-kill at step k, message drop/delay, exception injection in a
+  named port method), off by default behind a single module flag.
+* :mod:`repro.resilience.runner` — a supervised runner
+  (``python -m repro.resilience run script.rc``) that checkpoints
+  periodically, detects failures and restarts from the latest valid
+  checkpoint with bounded retries.
+
+This package root stays import-light (errors/samr/numpy only): the CCA
+services layer and the MPI communicator import :mod:`.faults` for their
+hot-path hooks, so pulling in :mod:`repro.cca` here would be a cycle.
+The hooks and runner modules (which do use cca) are imported lazily by
+the drivers and the CLI.
+"""
+
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    APP_FORMAT_VERSION,
+    AppCheckpoint,
+    checkpoint_steps,
+    is_valid_step,
+    latest_valid_step,
+    load_app_checkpoint,
+    prune_old_steps,
+    save_app_checkpoint,
+    step_prefix,
+)
+from repro.resilience.faults import DROP, FaultPlan
+from repro.resilience.protocol import Checkpointable, is_checkpointable
+
+__all__ = [
+    "APP_FORMAT_VERSION",
+    "AppCheckpoint",
+    "Checkpointable",
+    "DROP",
+    "FaultPlan",
+    "checkpoint_steps",
+    "faults",
+    "is_checkpointable",
+    "is_valid_step",
+    "latest_valid_step",
+    "load_app_checkpoint",
+    "prune_old_steps",
+    "save_app_checkpoint",
+    "step_prefix",
+]

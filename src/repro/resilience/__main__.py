@@ -1,0 +1,157 @@
+"""CLI: ``python -m repro.resilience <command>``.
+
+``run <script.rc>``
+    Execute an assembly under the supervised runner
+    (:mod:`repro.resilience.runner`): periodic checkpoints come from the
+    script's driver parameters, failures trigger restart-from-checkpoint
+    with bounded retries.  ``--fault`` arms the deterministic fault
+    injector for chaos drills.  Exit 0 when the run (eventually)
+    succeeds, 1 when retries are exhausted, 2 on usage errors.
+
+``inspect <prefix>``
+    List the application checkpoints under an artifact prefix and their
+    validity (all rank shards present, manifests parse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.mpi.perfmodel import CPLANT, LOCALHOST, ZERO_COST
+from repro.resilience import checkpoint as app_ckpt
+from repro.resilience import faults
+from repro.resilience.runner import supervise
+
+_MACHINES = {"localhost": LOCALHOST, "zero-cost": ZERO_COST,
+             "cplant": CPLANT}
+
+
+def parse_fault_spec(spec: str) -> faults.FaultPlan:
+    """``key=value[,key=value...]`` over :class:`~repro.resilience.faults.FaultPlan` fields.
+
+    Example: ``kill_rank=1,kill_step=3,seed=7``.
+    """
+    types = {f.name: f.type for f in dataclasses.fields(faults.FaultPlan)}
+    kwargs = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"bad fault spec item {item!r} "
+                             f"(expected key=value)")
+        key, value = item.split("=", 1)
+        key = key.strip()
+        if key not in types:
+            raise ValueError(
+                f"unknown fault field {key!r} (have: "
+                f"{', '.join(sorted(types))})")
+        conv = {"int": int, "float": float, "str": str}[types[key]]
+        kwargs[key] = conv(value.strip())
+    return faults.FaultPlan(**kwargs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Supervised checkpoint/restart execution and "
+                    "checkpoint inspection.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an rc-script under supervision")
+    run.add_argument("script", help="CCAFFEINE rc-script file")
+    run.add_argument("--nprocs", type=int, default=1,
+                     help="SCMD rank count (default: 1)")
+    run.add_argument("--retries", type=int, default=3,
+                     help="max restarts after a failed attempt (default: 3)")
+    run.add_argument("--backoff", type=float, default=0.0,
+                     help="base backoff seconds before retry n, doubled "
+                          "each retry (default: 0)")
+    run.add_argument("--machine", choices=sorted(_MACHINES),
+                     default="localhost",
+                     help="virtual-time machine model (default: localhost)")
+    run.add_argument("--fault", metavar="SPEC", default="",
+                     help="arm fault injection: key=value[,key=value...] "
+                          "over FaultPlan fields, e.g. "
+                          "kill_rank=1,kill_step=3,seed=7")
+    run.add_argument("--metrics", metavar="FILE", default="",
+                     help="write the run report (attempts, restarts, "
+                          "injected fault counts) as JSON")
+
+    insp = sub.add_parser("inspect",
+                          help="list checkpoints under a prefix")
+    insp.add_argument("prefix", help="checkpoint artifact prefix")
+    insp.add_argument("--nranks", type=int, default=0,
+                      help="expected rank shards (0 = read the cohort "
+                           "size from the shard manifests)")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    try:
+        with open(args.script, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error: cannot read {args.script!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.fault:
+        try:
+            faults.configure(parse_fault_spec(args.fault))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    from repro.analysis.wiring import default_classes
+    try:
+        # supervise() records injected-fault counts into the report while
+        # the plan is still armed
+        report = supervise(text, default_classes(), nprocs=args.nprocs,
+                           retries=args.retries, backoff=args.backoff,
+                           machine=_MACHINES[args.machine])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if args.fault:
+            faults.deactivate()
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    status = "ok" if report.ok else "FAILED"
+    print(f"{status}: {report.attempts} attempt(s), "
+          f"{report.restarts} restart(s), nprocs={report.nprocs}")
+    for line in report.failures:
+        print(f"  failure: {line}")
+    if report.injected:
+        print(f"  injected: {report.injected}")
+    return 0 if report.ok else 1
+
+
+def _cmd_inspect(args) -> int:
+    nranks = args.nranks if args.nranks > 0 else None
+    steps = app_ckpt.checkpoint_steps(args.prefix)
+    if not steps:
+        print(f"no checkpoints under {args.prefix!r}")
+        return 1
+    latest = app_ckpt.latest_valid_step(args.prefix, nranks)
+    for step in steps:
+        ok = app_ckpt.is_valid_step(args.prefix, step, nranks)
+        mark = "valid  " if ok else "INVALID"
+        tail = "  <- latest" if step == latest else ""
+        print(f"step {step:6d}  {mark}{tail}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_inspect(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Application-level checkpoint: a whole running assembly in one artifact.
+
+Extends the raw SAMR checkpoint (:mod:`repro.samr.checkpoint`) with the
+rest of the state a restart needs to be *bit-identical*:
+
+* the driver's step counter and simulation time,
+* every Checkpointable component's state (integrator counters,
+  statistics series, solver bookkeeping),
+* the rank's virtual clock (:mod:`repro.mpi.comm`), so post-restart
+  virtual-time accounting and obs traces continue instead of rewinding.
+
+Artifacts are versioned and per-rank-sharded:
+``<prefix>.step<k>[.rank<r>].npz`` — the hierarchy metadata is replicated
+into every shard, each rank stores only its owned patch arrays.  A step's
+checkpoint is *valid* only when every expected shard exists and carries a
+matching manifest; :func:`latest_valid_step` is how the supervised runner
+(and a driver's ``resume`` parameter) find where to restart from.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError
+from repro.samr import checkpoint as samr_ckpt
+from repro.samr.dataobject import DataObject
+from repro.samr.hierarchy import Hierarchy
+
+#: Version of the app-level manifest layered on the SAMR format.
+APP_FORMAT_VERSION = 1
+
+_STEP_RE = re.compile(r"\.step(\d+)(?:\.rank(\d+))?\.npz$")
+
+
+def step_prefix(prefix: str, step: int) -> str:
+    """Path prefix for one step's shards (rank/.npz suffixes appended by
+    the SAMR layer)."""
+    return f"{prefix}.step{step:06d}"
+
+
+@dataclass
+class AppCheckpoint:
+    """One rank's view of a restored application checkpoint."""
+
+    step: int
+    t: float
+    hierarchy: Hierarchy | None
+    dataobjs: dict[str, DataObject]
+    component_states: dict[str, dict]
+    clock: float = 0.0
+    nranks: int = 1
+    extras: dict = field(default_factory=dict)
+
+
+def save_app_checkpoint(prefix: str, step: int, t: float,
+                        hierarchy: Hierarchy | None = None,
+                        dataobjs: list[DataObject] | None = None,
+                        component_states: dict[str, dict] | None = None,
+                        rank: int | None = None, nranks: int = 1,
+                        clock: float = 0.0,
+                        extras: dict | None = None) -> str:
+    """Write one rank's shard of an app checkpoint; returns the path.
+
+    Mesh-less applications (the 0D ignition code) pass
+    ``hierarchy=None`` — the artifact then carries only the app manifest
+    (driver + component states) in a placeholder SAMR container.
+    """
+    app = {
+        "app_version": APP_FORMAT_VERSION,
+        "step": step,
+        "t_sim": t,
+        "rank": 0 if rank is None else rank,
+        "sharded": rank is not None,
+        "nranks": nranks,
+        "clock": clock,
+        "components": component_states or {},
+        "extras": extras or {},
+        "has_mesh": hierarchy is not None,
+    }
+    if hierarchy is None:
+        # placeholder 1-cell mesh: keeps the artifact a plain SAMR
+        # checkpoint any tool (``inspect``, np.load) can open
+        hierarchy = Hierarchy((1, 1))
+        hierarchy.build_base_level()
+        dataobjs = []
+    return samr_ckpt.save_checkpoint(
+        step_prefix(prefix, step), hierarchy, list(dataobjs or []),
+        t=t, rank=rank, extra=app)
+
+
+def load_app_checkpoint(prefix: str, step: int,
+                        rank: int | None = None) -> AppCheckpoint:
+    """Load one rank's shard of the app checkpoint written at ``step``."""
+    h, dataobjs, t, extra = samr_ckpt.load_checkpoint(
+        step_prefix(prefix, step), rank=rank, return_extra=True)
+    if not isinstance(extra, dict) or "app_version" not in extra:
+        raise CheckpointError(
+            f"{step_prefix(prefix, step)!r} is a raw SAMR checkpoint, "
+            f"not an application checkpoint (no app manifest)")
+    if extra["app_version"] != APP_FORMAT_VERSION:
+        raise CheckpointError(
+            f"app checkpoint version {extra['app_version']} not "
+            f"supported (expected {APP_FORMAT_VERSION})")
+    if extra["step"] != step:
+        raise CheckpointError(
+            f"manifest step {extra['step']} does not match file step "
+            f"{step} — corrupt or renamed checkpoint")
+    return AppCheckpoint(
+        step=extra["step"],
+        t=float(extra["t_sim"]),
+        hierarchy=h if extra.get("has_mesh", True) else None,
+        dataobjs=dataobjs if extra.get("has_mesh", True) else {},
+        component_states=extra.get("components", {}),
+        clock=float(extra.get("clock", 0.0)),
+        nranks=int(extra.get("nranks", 1)),
+        extras=extra.get("extras", {}),
+    )
+
+
+def checkpoint_steps(prefix: str) -> list[int]:
+    """All step numbers with at least one shard under ``prefix``."""
+    steps = set()
+    for path in glob.glob(glob.escape(prefix) + ".step*.npz"):
+        m = _STEP_RE.search(path)
+        if m:
+            steps.add(int(m.group(1)))
+    return sorted(steps)
+
+
+def _shard_paths(prefix: str, step: int, nranks: int | None) -> list[str]:
+    base = step_prefix(prefix, step)
+    if nranks is None:
+        return [samr_ckpt.checkpoint_path(base)]
+    return [samr_ckpt.checkpoint_path(base, rank=r) for r in range(nranks)]
+
+
+def _detect_nranks(prefix: str, step: int) -> int | None:
+    """Expected shard count for ``step``: None (unsharded) when the
+    serial artifact exists, else the cohort size recorded in any present
+    shard's manifest.  Shards carry the *true* ``nranks``, so a step
+    missing its highest-rank shards still detects the full requirement.
+    """
+    base = step_prefix(prefix, step)
+    if os.path.exists(samr_ckpt.checkpoint_path(base)):
+        return None
+    for path in glob.glob(glob.escape(base) + ".rank*.npz"):
+        try:
+            manifest = samr_ckpt.read_manifest(path)
+        except CheckpointError:
+            continue
+        app = manifest.get("extra") or {}
+        if app.get("sharded"):
+            return int(app.get("nranks", 1))
+    return None
+
+
+def is_valid_step(prefix: str, step: int, nranks: int | None = None) -> bool:
+    """True when every expected shard of ``step`` exists and its manifest
+    parses with a matching step number (the runner's validity probe).
+
+    With ``nranks=None`` the shard count is read from the manifests
+    themselves (:func:`_detect_nranks`); pass it explicitly to assert a
+    specific cohort size.
+    """
+    if nranks is None:
+        nranks = _detect_nranks(prefix, step)
+    for path in _shard_paths(prefix, step, nranks):
+        if not os.path.exists(path):
+            return False
+        try:
+            manifest = samr_ckpt.read_manifest(path)
+        except CheckpointError:
+            return False
+        app = manifest.get("extra") or {}
+        if app.get("app_version") != APP_FORMAT_VERSION \
+                or app.get("step") != step:
+            return False
+    return True
+
+
+def latest_valid_step(prefix: str, nranks: int | None = None) -> int | None:
+    """Newest step whose checkpoint is complete and readable, else None."""
+    for step in reversed(checkpoint_steps(prefix)):
+        if is_valid_step(prefix, step, nranks):
+            return step
+    return None
+
+
+def prune_old_steps(prefix: str, keep: int,
+                    rank: int | None = None) -> list[str]:
+    """Delete this rank's shards of all but the newest ``keep`` steps.
+
+    Each rank removes only its own files, so concurrent pruning across an
+    SCMD cohort never races on a shard.  Returns the paths removed.
+    """
+    removed: list[str] = []
+    steps = checkpoint_steps(prefix)
+    if keep <= 0 or len(steps) <= keep:
+        return removed
+    for step in steps[:-keep]:
+        path = samr_ckpt.checkpoint_path(step_prefix(prefix, step),
+                                         rank=rank)
+        if os.path.exists(path):
+            os.remove(path)
+            removed.append(path)
+    return removed

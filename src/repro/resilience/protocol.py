@@ -1,0 +1,45 @@
+"""The Checkpointable protocol: opt-in component state capture.
+
+A component participates in application-level checkpoint/restart by
+implementing two methods (duck-typed — no base-class change, so existing
+components and third-party ones stay untouched):
+
+``checkpoint_state() -> dict``
+    A JSON-serializable snapshot of the component's evolving state
+    (counters, series, controller history...).  Large field arrays do
+    **not** belong here — they live in DataObjects, which the SAMR layer
+    checkpoints bit-exactly; everything else must round-trip through
+    ``json.dumps``/``loads`` (Python floats round-trip exactly).
+
+``restore_state(state: dict) -> None``
+    Re-impose a snapshot.  Called after instantiation and wiring, before
+    the driver resumes its step loop.
+
+:meth:`repro.cca.framework.Framework.capture_state` sweeps every
+instantiated component for the protocol; components that don't implement
+it are simply stateless as far as checkpointing is concerned.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """Structural type for components with restorable state."""
+
+    def checkpoint_state(self) -> dict:
+        """JSON-serializable snapshot of evolving state."""
+        ...  # pragma: no cover - protocol declaration
+
+    def restore_state(self, state: dict) -> None:
+        """Re-impose a snapshot captured by :meth:`checkpoint_state`."""
+        ...  # pragma: no cover - protocol declaration
+
+
+def is_checkpointable(obj: object) -> bool:
+    """True if ``obj`` implements the protocol (callable check, not
+    just attribute presence)."""
+    return (callable(getattr(obj, "checkpoint_state", None))
+            and callable(getattr(obj, "restore_state", None)))

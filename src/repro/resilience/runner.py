@@ -1,0 +1,135 @@
+"""The supervised runner: run an assembly, survive failures, restart.
+
+The paper's flame simulation ran for 58 wall-clock hours; at that scale a
+run *will* see failures, and the recovery loop belongs outside the
+application.  :func:`supervise` is that loop: execute an rc-script
+(serial or SCMD), detect a failed attempt (a crashed rank, an injected
+fault, any component exception), and re-run the same script with the
+driver's ``resume`` parameter switched on so it restarts from the latest
+valid application checkpoint — bounded retries, exponential backoff.
+
+The script itself says *what* to checkpoint (the driver's
+``checkpoint_path`` / ``checkpoint_interval`` parameters, see
+:mod:`repro.resilience.hooks`); the runner only supervises.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.cca.scmd import run_scmd
+from repro.cca.script import parse_script
+from repro.mpi.perfmodel import MachineModel, LOCALHOST
+from repro.obs import trace as _obs
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.resilience import faults as _faults
+from repro.util.logging import get_logger
+
+_log = get_logger("resilience.runner")
+
+#: cap on one backoff sleep, whatever the retry count
+_MAX_BACKOFF = 30.0
+
+
+@dataclass
+class RunReport:
+    """Outcome of one supervised run."""
+
+    ok: bool
+    attempts: int
+    restarts: int
+    nprocs: int
+    results: list[Any] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+    injected: dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-serializable summary (per-rank results reduced to the
+        scalar entries of dict results — arrays stay out of metrics)."""
+        summaries = []
+        for result in self.results:
+            if isinstance(result, dict):
+                summaries.append({
+                    k: v for k, v in result.items()
+                    if isinstance(v, (int, float, str, bool, type(None)))})
+            else:
+                summaries.append(repr(result))
+        return {
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "restarts": self.restarts,
+            "nprocs": self.nprocs,
+            "failures": self.failures,
+            "injected_faults": self.injected,
+            "results": summaries,
+        }
+
+
+def with_resume(text: str) -> str:
+    """Inject ``parameter <driver> resume 1`` ahead of every ``go``.
+
+    The retry path: the same assembly script, with each driven instance
+    told to restart from its latest valid checkpoint.
+    """
+    directives = parse_script(text)
+    go_lines = [d.line_no for d in directives if d.verb == "go"]
+    if not go_lines:
+        return text
+    targets = list(dict.fromkeys(
+        d.args[0] for d in directives if d.verb == "go"))
+    lines = text.splitlines()
+    cut = min(go_lines) - 1
+    inject = [f"parameter {t} resume 1" for t in targets]
+    return "\n".join(lines[:cut] + inject + lines[cut:])
+
+
+def supervise(script: str, classes: Iterable = (), nprocs: int = 1,
+              retries: int = 3, backoff: float = 0.0,
+              machine: MachineModel = LOCALHOST) -> RunReport:
+    """Run ``script`` under supervision; see the module docstring.
+
+    ``retries`` counts *re*-runs: the script gets at most ``retries + 1``
+    attempts.  ``backoff`` seconds are slept before retry n as
+    ``backoff * 2**(n-1)``, capped at 30 s.  Returns a
+    :class:`RunReport`; ``ok=False`` means every attempt failed.
+    """
+    parse_script(script)  # fail fast on syntax, not on attempt 1
+    class_list = list(classes)
+    report = RunReport(ok=False, attempts=0, restarts=0, nprocs=nprocs)
+    for attempt in range(retries + 1):
+        report.attempts = attempt + 1
+        text = script
+        if attempt > 0:
+            report.restarts += 1
+            if backoff > 0.0:
+                time.sleep(min(backoff * 2 ** (attempt - 1), _MAX_BACKOFF))
+            text = with_resume(script)
+        t0 = time.perf_counter()
+        try:
+            results = run_scmd(nprocs, text, class_list, machine=machine)
+        except Exception as exc:  # a failed attempt, whatever the layer
+            first_line = str(exc).splitlines()[0] if str(exc) else ""
+            report.failures.append(f"{type(exc).__name__}: {first_line}")
+            _log.warning("attempt %d/%d failed: %s: %s",
+                         attempt + 1, retries + 1,
+                         type(exc).__name__, first_line)
+            if _obs.on:
+                _obs.complete("resilience.attempt", "resilience", t0,
+                              attempt=attempt + 1, ok=False)
+        else:
+            report.ok = True
+            report.results = results
+            if _obs.on:
+                _obs.complete("resilience.attempt", "resilience", t0,
+                              attempt=attempt + 1, ok=True)
+            break
+    if _faults.on:
+        report.injected = _faults.injected_counts()
+    if _obs.on:
+        reg = _obs_registry()
+        reg.counter("resilience.runner_attempts").inc(report.attempts)
+        reg.counter("resilience.runner_restarts").inc(report.restarts)
+        reg.gauge("resilience.runner_ok").set(1 if report.ok else 0)
+    return report

@@ -7,15 +7,21 @@ rebuilds them bit-exactly.
 
 In SCMD runs each rank writes its own shard (``path.rank<k>.npz``); the
 hierarchy metadata is replicated so any rank's shard carries it.
+
+The helpers :func:`hierarchy_meta`, :func:`rebuild_hierarchy`,
+:func:`pack_dataobjects` and :func:`unpack_dataobjects` are public so the
+application-level checkpoint (:mod:`repro.resilience.checkpoint`) can
+compose them with framework state instead of re-implementing the layout.
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 
-from repro.errors import MeshError
+from repro.errors import CheckpointError
 from repro.samr.box import Box
 from repro.samr.dataobject import DataObject
 from repro.samr.hierarchy import Hierarchy
@@ -25,7 +31,8 @@ from repro.samr.patch import Patch
 _FORMAT_VERSION = 1
 
 
-def _hierarchy_meta(h: Hierarchy) -> dict:
+def hierarchy_meta(h: Hierarchy) -> dict:
+    """JSON-serializable structural snapshot of a hierarchy."""
     return {
         "version": _FORMAT_VERSION,
         "base_shape": list(h.levels[0].domain.shape),
@@ -35,7 +42,7 @@ def _hierarchy_meta(h: Hierarchy) -> dict:
         "max_levels": h.max_levels,
         "nghost": h.nghost,
         "nranks": h.nranks,
-        "next_patch_id": h._next_patch_id,
+        "next_patch_id": h.next_patch_id,
         "levels": [
             {
                 "number": lvl.number,
@@ -55,20 +62,44 @@ def _hierarchy_meta(h: Hierarchy) -> dict:
     }
 
 
-def save_checkpoint(path: str, hierarchy: Hierarchy,
-                    dataobjs: list[DataObject], t: float = 0.0,
-                    rank: int | None = None) -> str:
-    """Write hierarchy + owned patch data; returns the file written."""
-    if rank is not None:
-        path = f"{path}.rank{rank}"
-    if not path.endswith(".npz"):
-        path = path + ".npz"
+def rebuild_hierarchy(meta: dict) -> Hierarchy:
+    """Reconstruct a hierarchy bit-exactly from :func:`hierarchy_meta`.
+
+    Levels and patches are replayed verbatim (bypassing the balancers:
+    owners are stored), and the patch-id allocator is re-seeded so ids
+    minted after a restart match an uninterrupted run.
+    """
+    if meta["version"] != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format version {meta['version']} is not "
+            f"supported by this build (expected {_FORMAT_VERSION}); "
+            f"re-create the checkpoint or upgrade the toolkit")
+    h = Hierarchy(
+        base_shape=tuple(meta["base_shape"]),
+        origin=tuple(meta["origin"]),
+        extent=tuple(meta["extent"]),
+        ratio=meta["ratio"],
+        max_levels=meta["max_levels"],
+        nghost=meta["nghost"],
+        nranks=meta["nranks"],
+    )
+    for lev_meta in meta["levels"]:
+        n = lev_meta["number"]
+        if n >= len(h.levels):
+            h.levels.append(Level(n, h.domain_at(n), h.dx(n)))
+        level = h.levels[n]
+        for p in lev_meta["patches"]:
+            level.add(Patch(p["id"], Box(tuple(p["lo"]), tuple(p["hi"])),
+                            n, p["owner"], meta["nghost"], p["parent"]))
+    h.seed_patch_ids(meta["next_patch_id"])
+    return h
+
+
+def pack_dataobjects(dataobjs: list[DataObject]
+                     ) -> tuple[dict[str, np.ndarray], list[dict]]:
+    """Flatten DataObjects into npz-ready arrays plus manifest entries."""
     arrays: dict[str, np.ndarray] = {}
-    manifest = {
-        "hierarchy": _hierarchy_meta(hierarchy),
-        "t": t,
-        "dataobjects": [],
-    }
+    entries: list[dict] = []
     for dobj in dataobjs:
         entry = {
             "name": dobj.name,
@@ -78,56 +109,106 @@ def save_checkpoint(path: str, hierarchy: Hierarchy,
             "patches": [],
         }
         for patch in dobj.owned_patches():
-            key = f"{dobj.name}::{patch.id}"
-            arrays[key] = dobj.array(patch)
+            arrays[f"{dobj.name}::{patch.id}"] = dobj.array(patch)
             entry["patches"].append(patch.id)
-        manifest["dataobjects"].append(entry)
-    arrays["__manifest__"] = np.frombuffer(
-        json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
-    return path
+        entries.append(entry)
+    return arrays, entries
 
 
-def load_checkpoint(path: str, rank: int | None = None
-                    ) -> tuple[Hierarchy, dict[str, DataObject], float]:
-    """Rebuild (hierarchy, {name: DataObject}, t) from a checkpoint."""
+def unpack_dataobjects(blob, entries: list[dict],
+                       h: Hierarchy) -> dict[str, DataObject]:
+    """Rebuild DataObjects from manifest entries + the open npz blob."""
+    dataobjs: dict[str, DataObject] = {}
+    for entry in entries:
+        dobj = DataObject(entry["name"], h, entry["nvar"],
+                          entry["rank"], entry["var_names"])
+        for pid in entry["patches"]:
+            dobj.array(pid)[...] = blob[f"{entry['name']}::{pid}"]
+        dataobjs[entry["name"]] = dobj
+    return dataobjs
+
+
+def checkpoint_path(path: str, rank: int | None = None) -> str:
+    """Canonical on-disk name: optional rank shard suffix + ``.npz``."""
     if rank is not None and f".rank{rank}" not in path:
         path = f"{path}.rank{rank}"
     if not path.endswith(".npz"):
         path = path + ".npz"
+    return path
+
+
+def write_npz_atomic(path: str, arrays: dict[str, np.ndarray]) -> str:
+    """Write an npz atomically (temp file + rename) so a crash mid-write
+    never leaves a half-valid checkpoint behind."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def save_checkpoint(path: str, hierarchy: Hierarchy,
+                    dataobjs: list[DataObject], t: float = 0.0,
+                    rank: int | None = None,
+                    extra: dict | None = None) -> str:
+    """Write hierarchy + owned patch data; returns the file written.
+
+    ``extra`` is an optional JSON-serializable dict stored alongside the
+    SAMR state — the application-level checkpoint rides in it.
+    """
+    path = checkpoint_path(path, rank)
+    arrays, entries = pack_dataobjects(dataobjs)
+    manifest = {
+        "hierarchy": hierarchy_meta(hierarchy),
+        "t": t,
+        "dataobjects": entries,
+    }
+    if extra is not None:
+        manifest["extra"] = extra
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    return write_npz_atomic(path, arrays)
+
+
+def read_manifest(path: str, rank: int | None = None) -> dict:
+    """Load only the JSON manifest of a checkpoint (cheap validity probe)."""
+    path = checkpoint_path(path, rank)
+    if not os.path.exists(path):
+        raise CheckpointError(
+            f"checkpoint shard {path!r} does not exist"
+            + (f" (rank {rank}'s shard is missing)" if rank is not None
+               else ""))
+    try:
+        with np.load(path) as blob:
+            return json.loads(bytes(blob["__manifest__"]).decode("utf-8"))
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is unreadable or has no manifest: "
+            f"{exc}") from exc
+
+
+def load_checkpoint(path: str, rank: int | None = None,
+                    return_extra: bool = False):
+    """Rebuild ``(hierarchy, {name: DataObject}, t)`` from a checkpoint.
+
+    With ``return_extra=True`` a fourth element is appended: the ``extra``
+    dict stored by :func:`save_checkpoint` (``None`` when absent).
+    Missing shards and format-version mismatches raise
+    :class:`~repro.errors.CheckpointError` with an actionable message.
+    """
+    path = checkpoint_path(path, rank)
+    if not os.path.exists(path):
+        raise CheckpointError(
+            f"checkpoint shard {path!r} does not exist"
+            + (f" (rank {rank}'s shard is missing)" if rank is not None
+               else ""))
     with np.load(path) as blob:
         manifest = json.loads(bytes(blob["__manifest__"]).decode("utf-8"))
-        if manifest["hierarchy"]["version"] != _FORMAT_VERSION:
-            raise MeshError(
-                f"checkpoint format {manifest['hierarchy']['version']} "
-                f"not supported")
-        meta = manifest["hierarchy"]
-        h = Hierarchy(
-            base_shape=tuple(meta["base_shape"]),
-            origin=tuple(meta["origin"]),
-            extent=tuple(meta["extent"]),
-            ratio=meta["ratio"],
-            max_levels=meta["max_levels"],
-            nghost=meta["nghost"],
-            nranks=meta["nranks"],
-        )
-        # rebuild levels verbatim (bypassing balancers: owners are stored)
-        for lev_meta in meta["levels"]:
-            n = lev_meta["number"]
-            if n >= len(h.levels):
-                h.levels.append(Level(n, h.domain_at(n), h.dx(n)))
-            level = h.levels[n]
-            for p in lev_meta["patches"]:
-                level.add(Patch(p["id"], Box(tuple(p["lo"]),
-                                             tuple(p["hi"])),
-                                n, p["owner"], meta["nghost"],
-                                p["parent"]))
-        h._next_patch_id = meta["next_patch_id"]
-        dataobjs: dict[str, DataObject] = {}
-        for entry in manifest["dataobjects"]:
-            dobj = DataObject(entry["name"], h, entry["nvar"],
-                              entry["rank"], entry["var_names"])
-            for pid in entry["patches"]:
-                dobj.array(pid)[...] = blob[f"{entry['name']}::{pid}"]
-            dataobjs[entry["name"]] = dobj
-        return h, dataobjs, float(manifest["t"])
+        h = rebuild_hierarchy(manifest["hierarchy"])
+        dataobjs = unpack_dataobjects(blob, manifest["dataobjects"], h)
+        t = float(manifest["t"])
+        if return_extra:
+            return h, dataobjs, t, manifest.get("extra")
+        return h, dataobjs, t

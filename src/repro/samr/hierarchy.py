@@ -78,6 +78,26 @@ class Hierarchy:
         return pid
 
     @property
+    def next_patch_id(self) -> int:
+        """The id the next :meth:`new_patch_id` call will hand out
+        (checkpoint metadata; does not consume an id)."""
+        return self._next_patch_id
+
+    def seed_patch_ids(self, next_id: int) -> None:
+        """Restart the id allocator at ``next_id`` (checkpoint restore).
+
+        Restores must replay the allocator exactly so patches created
+        after a restart get the same identities as in an uninterrupted
+        run; rewinding below an id already handed out would mint
+        duplicates, so that is rejected.
+        """
+        if next_id < self._next_patch_id:
+            raise MeshError(
+                f"cannot rewind patch-id allocator from "
+                f"{self._next_patch_id} to {next_id}")
+        self._next_patch_id = next_id
+
+    @property
     def ndim(self) -> int:
         return self.levels[0].domain.ndim
 

@@ -1,0 +1,11 @@
+"""Shared fixtures: fault injection must never leak between tests."""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _faults_off():
+    yield
+    faults.deactivate()

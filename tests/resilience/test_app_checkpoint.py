@@ -1,0 +1,146 @@
+"""App-level checkpoint artifacts: versioning, shards, validity, pruning."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import checkpoint as app_ckpt
+from repro.samr import Box, DataObject, Hierarchy
+from repro.samr import checkpoint as samr_ckpt
+
+
+def build_state():
+    h = Hierarchy((16, 16), extent=(2.0, 2.0), ratio=2, max_levels=2,
+                  nghost=2, nranks=1)
+    h.build_base_level()
+    h.set_level_boxes(1, [Box((8, 8), (23, 23))])
+    d = DataObject("flow", h, nvar=2, var_names=["T", "u"])
+    rng = np.random.default_rng(3)
+    for p in d.owned_patches():
+        d.array(p)[...] = rng.random(d.array(p).shape)
+    return h, d
+
+
+def test_app_roundtrip_with_mesh(tmp_path):
+    h, d = build_state()
+    prefix = str(tmp_path / "app")
+    states = {"Integrator": {"nfe": 17, "nsteps": 4, "last_stages": 6}}
+    app_ckpt.save_app_checkpoint(prefix, 5, 0.25, hierarchy=h,
+                                 dataobjs=[d], component_states=states,
+                                 clock=1.5, extras={"note": "hi"})
+    ck = app_ckpt.load_app_checkpoint(prefix, 5)
+    assert (ck.step, ck.t, ck.clock) == (5, 0.25, 1.5)
+    assert ck.component_states == states
+    assert ck.extras == {"note": "hi"}
+    assert ck.hierarchy.total_cells() == h.total_cells()
+    for p in h.all_patches():
+        np.testing.assert_array_equal(ck.dataobjs["flow"].array(p.id),
+                                      d.array(p.id))
+
+
+def test_meshless_roundtrip(tmp_path):
+    prefix = str(tmp_path / "app")
+    app_ckpt.save_app_checkpoint(
+        prefix, 2, 0.5, component_states={},
+        extras={"y": [1.0, 2.0], "nfe": 3})
+    ck = app_ckpt.load_app_checkpoint(prefix, 2)
+    assert ck.hierarchy is None
+    assert ck.dataobjs == {}
+    assert ck.extras == {"y": [1.0, 2.0], "nfe": 3}
+
+
+def test_raw_samr_checkpoint_is_rejected(tmp_path):
+    h, d = build_state()
+    base = app_ckpt.step_prefix(str(tmp_path / "app"), 1)
+    samr_ckpt.save_checkpoint(base, h, [d])
+    with pytest.raises(CheckpointError, match="no app manifest"):
+        app_ckpt.load_app_checkpoint(str(tmp_path / "app"), 1)
+
+
+def test_app_version_mismatch_raises(tmp_path):
+    h, d = build_state()
+    base = app_ckpt.step_prefix(str(tmp_path / "app"), 1)
+    samr_ckpt.save_checkpoint(base, h, [d],
+                              extra={"app_version": 99, "step": 1})
+    with pytest.raises(CheckpointError, match="version 99"):
+        app_ckpt.load_app_checkpoint(str(tmp_path / "app"), 1)
+
+
+def test_missing_rank_shard_raises(tmp_path):
+    h, d = build_state()
+    prefix = str(tmp_path / "app")
+    app_ckpt.save_app_checkpoint(prefix, 1, 0.0, hierarchy=h,
+                                 dataobjs=[d], rank=0, nranks=2)
+    with pytest.raises(CheckpointError, match="rank 1"):
+        app_ckpt.load_app_checkpoint(prefix, 1, rank=1)
+
+
+def test_latest_valid_step_skips_incomplete_shards(tmp_path):
+    h, d = build_state()
+    prefix = str(tmp_path / "app")
+    for step in (1, 2):
+        for rank in (0, 1):
+            app_ckpt.save_app_checkpoint(prefix, step, 0.1 * step,
+                                         hierarchy=h, dataobjs=[d],
+                                         rank=rank, nranks=2)
+    # step 3: only rank 0 made it before the "crash"
+    app_ckpt.save_app_checkpoint(prefix, 3, 0.3, hierarchy=h,
+                                 dataobjs=[d], rank=0, nranks=2)
+    assert app_ckpt.checkpoint_steps(prefix) == [1, 2, 3]
+    assert not app_ckpt.is_valid_step(prefix, 3, nranks=2)
+    assert app_ckpt.is_valid_step(prefix, 2, nranks=2)
+    assert app_ckpt.latest_valid_step(prefix, nranks=2) == 2
+
+
+def test_validity_autodetects_shard_count(tmp_path):
+    """With nranks unspecified, the cohort size comes from the shard
+    manifests — an incomplete sharded step is still caught."""
+    h, d = build_state()
+    prefix = str(tmp_path / "app")
+    for rank in (0, 1):
+        app_ckpt.save_app_checkpoint(prefix, 1, 0.1, hierarchy=h,
+                                     dataobjs=[d], rank=rank, nranks=2)
+    app_ckpt.save_app_checkpoint(prefix, 2, 0.2, hierarchy=h,
+                                 dataobjs=[d], rank=0, nranks=2)
+    assert app_ckpt.is_valid_step(prefix, 1)      # both shards of 2
+    assert not app_ckpt.is_valid_step(prefix, 2)  # manifest says 2, has 1
+    assert app_ckpt.latest_valid_step(prefix) == 1
+
+
+def test_corrupt_manifest_invalidates_step(tmp_path):
+    h, d = build_state()
+    prefix = str(tmp_path / "app")
+    path = app_ckpt.save_app_checkpoint(prefix, 1, 0.0, hierarchy=h,
+                                        dataobjs=[d])
+    with open(path, "wb") as fh:
+        fh.write(b"not an npz")
+    assert not app_ckpt.is_valid_step(prefix, 1)
+    assert app_ckpt.latest_valid_step(prefix) is None
+
+
+def test_prune_keeps_newest_steps_per_rank(tmp_path):
+    h, d = build_state()
+    prefix = str(tmp_path / "app")
+    for step in range(1, 6):
+        app_ckpt.save_app_checkpoint(prefix, step, 0.0, hierarchy=h,
+                                     dataobjs=[d])
+    removed = app_ckpt.prune_old_steps(prefix, keep=2)
+    assert len(removed) == 3
+    assert app_ckpt.checkpoint_steps(prefix) == [4, 5]
+    for path in removed:
+        assert not os.path.exists(path)
+
+
+def test_manifest_is_json_readable(tmp_path):
+    """The artifact stays a plain SAMR npz any tool can open."""
+    h, d = build_state()
+    prefix = str(tmp_path / "app")
+    path = app_ckpt.save_app_checkpoint(prefix, 7, 1.0, hierarchy=h,
+                                        dataobjs=[d])
+    with np.load(path) as blob:
+        manifest = json.loads(bytes(blob["__manifest__"]).decode())
+    assert manifest["extra"]["app_version"] == app_ckpt.APP_FORMAT_VERSION
+    assert manifest["extra"]["step"] == 7

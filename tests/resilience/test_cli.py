@@ -1,0 +1,85 @@
+"""The ``python -m repro.resilience`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.__main__ import main, parse_fault_spec
+
+
+def test_parse_fault_spec_typed_fields():
+    plan = parse_fault_spec("kill_rank=1,kill_step=3,drop_prob=0.25,seed=7")
+    assert plan.kill_rank == 1
+    assert plan.kill_step == 3
+    assert plan.drop_prob == 0.25
+    assert plan.seed == 7
+    assert plan.inject_method == ""
+
+
+def test_parse_fault_spec_rejects_unknown_key():
+    with pytest.raises(ValueError, match="unknown fault field"):
+        parse_fault_spec("explode=1")
+
+
+def _example_rc():
+    here = os.path.dirname(__file__)
+    return os.path.join(here, os.pardir, os.pardir, "examples",
+                        "reaction_diffusion.rc")
+
+
+def test_run_with_injected_kill_exits_zero(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # the example writes flame_ck.* in cwd
+    metrics = tmp_path / "metrics.json"
+    code = main(["run", _example_rc(),
+                 "--fault", "kill_rank=0,kill_step=3",
+                 "--metrics", str(metrics)])
+    assert code == 0
+    assert faults.on is False  # CLI disarms the plan on the way out
+    data = json.loads(metrics.read_text())
+    assert data["ok"] is True
+    assert data["restarts"] == 1
+    assert data["injected_faults"]["kills"] == 1
+    assert data["results"][0]["n_steps"] == 6
+    out = capsys.readouterr().out
+    assert "ok:" in out and "1 restart(s)" in out
+
+
+def test_run_failure_exits_one(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["run", _example_rc(), "--retries", "0",
+                 "--fault", "kill_rank=0,kill_step=2,kill_max_fires=99"])
+    assert code == 1
+
+
+def test_run_bad_fault_spec_exits_two(tmp_path, capsys):
+    code = main(["run", _example_rc(), "--fault", "nonsense"])
+    assert code == 2
+    assert "bad fault spec" in capsys.readouterr().err
+
+
+def test_run_missing_script_exits_two(capsys):
+    code = main(["run", "/nonexistent.rc"])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_inspect_lists_steps_and_validity(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", _example_rc()]) == 0
+    capsys.readouterr()
+    # default --nranks 0 reads the cohort size from the shard manifests
+    code = main(["inspect", str(tmp_path / "flame_ck")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "valid" in out and "INVALID" not in out and "<- latest" in out
+    # an explicit shard count asserts the same thing
+    assert main(["inspect", str(tmp_path / "flame_ck"),
+                 "--nranks", "1"]) == 0
+
+
+def test_inspect_empty_prefix_exits_one(tmp_path, capsys):
+    code = main(["inspect", str(tmp_path / "nothing")])
+    assert code == 1
+    assert "no checkpoints" in capsys.readouterr().out

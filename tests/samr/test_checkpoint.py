@@ -84,3 +84,83 @@ def test_multiple_dataobjects(tmp_path):
     assert set(objs) == {"flow", "aux"}
     p0 = next(iter(objs["aux"].owned_patches()))
     assert np.all(objs["aux"].array(p0) == 42.0)
+
+
+def test_scmd_four_rank_sharded_roundtrip(tmp_path):
+    """Every rank writes its own shard; each restores bit-identically —
+    patch arrays and the full owner map."""
+    from repro.mpi import ZERO_COST, mpirun
+
+    path = str(tmp_path / "ck")
+
+    def main(comm):
+        h = Hierarchy((16, 16), extent=(1.0, 1.0), max_levels=2,
+                      nghost=2, nranks=comm.size)
+        h.build_base_level(decomposition=[
+            Box((0, 0), (7, 7)), Box((0, 8), (7, 15)),
+            Box((8, 0), (15, 7)), Box((8, 8), (15, 15)),
+        ])
+        h.set_level_boxes(1, [Box((4, 4), (19, 19)),
+                              Box((20, 20), (27, 27))])
+        d = DataObject("flow", h, nvar=2, rank=comm.rank)
+        rng = np.random.default_rng(11)  # same stream on every rank...
+        for p in h.all_patches():
+            block = rng.random((2,) + p.array_shape)
+            if p.owner == comm.rank:  # ...so owned data is reproducible
+                d.array(p.id)[...] = block
+        save_checkpoint(path, h, [d], t=0.5, rank=comm.rank)
+
+        h2, objs, t = load_checkpoint(path, rank=comm.rank)
+        assert t == 0.5
+        owners = {p.id: p.owner for p in h.all_patches()}
+        owners2 = {p.id: p.owner for p in h2.all_patches()}
+        assert owners2 == owners  # hierarchy meta replicated per shard
+        d2 = objs["flow"]
+        for p in d.owned_patches():
+            np.testing.assert_array_equal(d2.array(p.id), d.array(p.id))
+        return owners2, {p.id: d2.array(p.id).copy()
+                         for p in d.owned_patches()}
+
+    results = mpirun(4, main, machine=ZERO_COST)
+    # all four shards exist and agree on the owner map
+    owner_maps = [owners for owners, _ in results]
+    assert all(m == owner_maps[0] for m in owner_maps)
+    seen = {}
+    for _, arrays in results:
+        assert not (set(seen) & set(arrays))  # disjoint ownership
+        seen.update(arrays)
+    assert set(seen) == set(owner_maps[0])  # every patch restored once
+
+
+def test_load_missing_rank_shard_raises_checkpoint_error(tmp_path):
+    from repro.errors import CheckpointError
+
+    h, d = build_state()
+    save_checkpoint(str(tmp_path / "ck"), h, [d], rank=0)
+    with pytest.raises(CheckpointError, match="rank 2"):
+        load_checkpoint(str(tmp_path / "ck"), rank=2)
+
+
+def test_format_version_mismatch_raises_checkpoint_error(tmp_path):
+    import json
+
+    from repro.errors import CheckpointError
+    from repro.samr.checkpoint import write_npz_atomic
+
+    h, d = build_state()
+    path = save_checkpoint(str(tmp_path / "ck"), h, [d])
+    with np.load(path) as blob:
+        arrays = dict(blob)
+    manifest = json.loads(bytes(arrays["__manifest__"]).decode())
+    manifest["hierarchy"]["version"] = 999
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8)
+    write_npz_atomic(path, arrays)
+    with pytest.raises(CheckpointError, match="version 999"):
+        load_checkpoint(path)
+
+
+def test_patch_id_allocator_cannot_rewind():
+    h, _ = build_state()
+    with pytest.raises(MeshError, match="rewind"):
+        h.seed_patch_ids(0)
