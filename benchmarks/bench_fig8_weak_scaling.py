@@ -14,9 +14,16 @@ def test_fig8_constant_workload_flat(benchmark):
         "figure": "fig8",
         "flatness": {str(n): v for n, v in result["flatness"].items()},
         "curves": [
-            {"n_local": r.n_local, "procs": r.procs, "times": r.times}
+            {"n_local": r.n_local, "procs": r.procs, "times": r.times,
+             "rank_summaries": r.rank_summaries,
+             "worst_imbalance": r.worst_imbalance}
             for r in result["results"]
         ],
+    }, metrics={
+        # KPIs for the BENCH_ trajectory: slowest case per size (lower =
+        # better) plus the flatness ratio per size
+        **{f"t_max_{r.n_local}": max(r.times) for r in result["results"]},
+        **{f"flatness_{n}": v for n, v in result["flatness"].items()},
     })
     benchmark.extra_info["report"] = path
     benchmark.extra_info["json"] = json_path

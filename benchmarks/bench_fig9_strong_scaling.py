@@ -16,6 +16,14 @@ def test_fig9_strong_scaling_knee(benchmark):
         "worst_small": result["worst_small"],
         "worst_large": result["worst_large"],
         "curves": {str(n): c for n, c in result["curves"].items()},
+    }, metrics={
+        # serial-baseline time per size (lower = better); efficiency is
+        # tracked inverted so the gate flags drops the same way it flags
+        # slowdowns (higher = worse)
+        **{f"t1_{n}": c["times"][0]
+           for n, c in result["curves"].items()},
+        "inv_worst_small": 1.0 / result["worst_small"],
+        "inv_worst_large": 1.0 / result["worst_large"],
     })
     benchmark.extra_info["report"] = path
     benchmark.extra_info["json"] = json_path

@@ -8,7 +8,7 @@ and the framework plumbing is cheap (the paper's overall thesis).
 """
 
 from repro.apps.reaction_diffusion import build_reaction_diffusion
-from repro.bench.reporting import save_report
+from repro.bench.reporting import save_json, save_report
 from repro.cca import Framework
 from repro.cca.profiling import instrument
 from repro.util.options import fast_mode
@@ -28,9 +28,8 @@ def run_profile():
 def test_profile_component_breakdown(benchmark):
     profiler = benchmark.pedantic(run_profile, rounds=1, iterations=1)
     report = profiler.report()
-    save_report("profile_components", report)
+    path = save_report("profile_components", report)
     agg = profiler.by_component()
-    by_comp = {k.split(":")[0]: v for k, v in agg.items()}
     # merge per-port entries per component instance
     merged: dict[str, float] = {}
     calls: dict[str, int] = {}
@@ -38,6 +37,32 @@ def test_profile_component_breakdown(benchmark):
         comp = key.split(":")[0]
         merged[comp] = merged.get(comp, 0.0) + t
         calls[comp] = calls.get(comp, 0) + c
+    total_cpu = sum(merged.values())
+    total_calls = sum(calls.values())
+    json_path = save_json("profile_components", {
+        "bench": "profile_components",
+        "total_self_cpu_seconds": total_cpu,
+        "total_port_calls": total_calls,
+        "components": [
+            {"component": comp, "calls": calls[comp],
+             "self_cpu_seconds": secs}
+            for comp, secs in sorted(merged.items(),
+                                     key=lambda kv: kv[1], reverse=True)
+        ],
+        "methods": [
+            {"method": key, "calls": c, "self_cpu_seconds": t}
+            for key, (c, t) in sorted(agg.items())
+        ],
+    }, metrics={
+        # trajectory KPIs (lower = better): total self-CPU through the
+        # instrumented assembly and the per-physics-component costs the
+        # regression gate watches for hot-path slowdowns
+        "total_self_cpu_seconds": total_cpu,
+        "diffusion_cpu_seconds": merged.get("DiffusionPhysics", 0.0),
+        "explicit_cpu_seconds": merged.get("ExplicitIntegrator", 0.0),
+    })
+    benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
     # physics components were exercised
     assert calls.get("DiffusionPhysics", 0) > 0
     assert calls.get("ReactionTerms", 0) > 0

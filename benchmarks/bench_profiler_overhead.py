@@ -1,0 +1,83 @@
+"""Sampling-profiler overhead on the Table 4 serial workload.
+
+The flight recorder (:mod:`repro.obs.profiler`) claims always-on
+capability: arming it at the default interval must cost single-digit
+percent on a real workload, and leaving it off must cost nothing beyond
+the tracer's flag check.  This bench measures both claims on the Table 4
+component-path serial workload (per-cell stiff CVode integrations
+through CCA ports) and writes its numbers into the ``BENCH_`` trajectory
+so the regression gate watches the profiler's own cost over time.
+"""
+
+import os
+
+import repro.obs.profiler as profiler
+from repro.bench import run_serial_workload, save_json, save_report
+from repro.bench.reporting import format_table
+
+
+def run_overhead(repeats: int = 3):
+    """Interleave bare and profiled passes (so drift hits both equally);
+    compare best-of-N wall times."""
+    baseline: list[float] = []
+    sampled: list[float] = []
+    run_serial_workload()          # warm-up: imports, JIT-ish numpy paths
+    for _ in range(repeats):
+        baseline.append(run_serial_workload())
+        with profiler.profiling() as prof:
+            sampled.append(run_serial_workload())
+    overhead_pct = 100.0 * (min(sampled) / min(baseline) - 1.0)
+    return {
+        "baseline": baseline,
+        "sampled": sampled,
+        "overhead_pct": overhead_pct,
+        "interval": prof.interval,
+        "ticks": prof.ticks,
+        "samples": prof.samples_taken,
+        "profiler": prof,
+    }
+
+
+def test_profiler_overhead_single_digit(benchmark):
+    result = benchmark.pedantic(run_overhead, rounds=1, iterations=1)
+    prof = result["profiler"]
+    rows = [["bare", min(result["baseline"])],
+            ["sampling armed", min(result["sampled"])]]
+    report = format_table(
+        ["variant", "best wall [s]"], rows,
+        title=(f"Sampling-profiler overhead on the Table 4 serial "
+               f"workload (interval {result['interval'] * 1e3:.1f} ms)"))
+    report += (f"\noverhead: {result['overhead_pct']:+.2f}%  "
+               f"(claim: <= 5%)\n\n" + prof.report())
+    path = save_report("profiler_overhead", report)
+    bench_dir = os.environ.get(
+        "REPRO_BENCH_DIR", os.path.join(os.getcwd(), "bench_results"))
+    flame_path = prof.export_folded(
+        os.path.join(bench_dir, "profiler_flame.folded"))
+    json_path = save_json("profiler_overhead", {
+        "bench": "profiler_overhead",
+        "baseline_best": min(result["baseline"]),
+        "sampled_best": min(result["sampled"]),
+        "overhead_pct": result["overhead_pct"],
+        "interval": result["interval"],
+        "ticks": result["ticks"],
+        "samples": result["samples"],
+    }, metrics={
+        # trajectory KPIs (lower = better); overhead_pct is shifted by
+        # +100 so the gate's ratio test stays meaningful near zero
+        "baseline_best": min(result["baseline"]),
+        "sampled_best": min(result["sampled"]),
+        "overhead_pct_plus100": 100.0 + result["overhead_pct"],
+    })
+    benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
+    benchmark.extra_info["flamegraph"] = flame_path
+    # the profiler actually ran and recorded frames
+    assert result["ticks"] > 0
+    assert result["samples"] > 0
+    assert prof.folded("frames")
+    # the headline claim: single-digit-percent overhead at the default
+    # interval on a CPU-bound serial workload
+    assert result["overhead_pct"] <= 5.0
+    # off means off: no module-level sampler left running
+    assert profiler.on is False

@@ -20,6 +20,12 @@ def test_table4_component_overhead(benchmark):
              "pct_diff": r.pct_diff}
             for r in result["rows"]
         ],
+    }, metrics={
+        # trajectory KPIs (lower = better): total CPU seconds through
+        # each path, and the paper's headline |%| overhead bound
+        "t_component_total": sum(r.t_component for r in result["rows"]),
+        "t_library_total": sum(r.t_library for r in result["rows"]),
+        "max_abs_pct": result["max_abs_pct"],
     })
     benchmark.extra_info["report"] = path
     benchmark.extra_info["json"] = json_path

@@ -16,14 +16,32 @@ def test_table5_weak_scaling_statistics(benchmark):
         "table": "table5",
         "results": [
             {"n_local": r.n_local, "procs": r.procs, "times": r.times,
-             "mean": r.mean, "median": r.median, "stdev": r.stdev}
+             "mean": r.mean, "median": r.median, "stdev": r.stdev,
+             "worst_imbalance": r.worst_imbalance,
+             "rank_summaries": r.rank_summaries}
             for r in result["results"]
         ],
         "ratios": [list(row) for row in result["ratios"]],
+        "imbalance": {str(n): v for n, v in result["imbalance"].items()},
+    }, metrics={
+        # trajectory KPIs (lower = better): mean run time and worst
+        # max/avg load imbalance per per-rank problem size
+        **{f"mean_t_{r.n_local}": r.mean for r in result["results"]},
+        **{f"imbalance_{r.n_local}": r.worst_imbalance
+           for r in result["results"]},
     })
     benchmark.extra_info["report"] = path
     benchmark.extra_info["json"] = json_path
     results = result["results"]
+    # every case carries the aggregated per-rank summary, and the widest
+    # sweep point actually broke the run down rank by rank with the
+    # max/avg imbalance statistic
+    for r in results:
+        assert len(r.rank_summaries) == len(r.procs)
+        for p, case in zip(r.procs, r.rank_summaries):
+            assert len(case["per_rank"]) == p
+            assert case["stats"]["imbalance"] >= 1.0
+        assert r.worst_imbalance >= 1.0
     # homogeneity: stdev well below the mean for every size
     for r in results:
         assert r.stdev < 0.25 * r.mean

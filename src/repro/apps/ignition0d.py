@@ -30,6 +30,7 @@ from repro.components import (
     StatisticsComponent,
     ThermoChemistry,
 )
+from repro.obs import trace as _trace
 from repro.resilience.hooks import CheckpointHook
 
 
@@ -87,14 +88,17 @@ class Ignition0DDriver(Component):
             stats.record("T", 0.0, T0)
             stats.record("P", 0.0, P0)
         for k in range(start_k + 1, n_out + 1):
-            t_next = t_end * k / n_out
-            y = solver.integrate(t, y, t_next)
-            nfe += solver.last_nfe()
-            t = t_next
-            stats.record("T", t, float(y[0]))
-            stats.record("P", t, float(y[-1]))
-            hook.after_step(k, t, extras={"y": [float(v) for v in y],
-                                          "nfe": nfe})
+            # driver.step spans are the flamegraph roots the sampling
+            # profiler attributes component time under
+            with _trace.span("driver.step", "driver", step=k):
+                t_next = t_end * k / n_out
+                y = solver.integrate(t, y, t_next)
+                nfe += solver.last_nfe()
+                t = t_next
+                stats.record("T", t, float(y[0]))
+                stats.record("P", t, float(y[-1]))
+                hook.after_step(k, t, extras={"y": [float(v) for v in y],
+                                              "nfe": nfe})
         T_final, Y_final, P_final = float(y[0]), y[1:-1], float(y[-1])
         i_h2o = mech.species_index("H2O")
         return {

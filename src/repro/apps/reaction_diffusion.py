@@ -16,6 +16,7 @@ import numpy as np
 from repro.cca.component import Component
 from repro.cca.framework import Framework
 from repro.cca.ports.go import GoPort
+from repro.obs import trace as _trace
 from repro.components import (
     CvodeComponent,
     DRFMComponent,
@@ -104,20 +105,23 @@ class ReactionDiffusionDriver(Component):
             dobj = data.data("flow")  # adopt() swapped the DataObjects
             h = mesh.hierarchy()
         for step in range(start_step + 1, n_steps + 1):
-            dt = dt_fixed if dt_fixed > 0.0 else \
-                explicit.stable_dt([dobj], t)
-            if chemistry_on:
-                implicit.advance([dobj], t, 0.5 * dt)
-            explicit.advance([dobj], t, dt)
-            if chemistry_on:
-                implicit.advance([dobj], t + 0.5 * dt, 0.5 * dt)
-            t += dt
-            if regrid_interval and step % regrid_interval == 0:
-                regrid.regrid()
-            stats.record("T_max", t, dobj.max_norm(
-                comm=services.get_comm(), k=0))
-            stats.record("ncells", t, float(h.total_cells()))
-            hook.after_step(step, t)
+            # driver.step spans are the flamegraph roots the sampling
+            # profiler attributes component time under
+            with _trace.span("driver.step", "driver", step=step):
+                dt = dt_fixed if dt_fixed > 0.0 else \
+                    explicit.stable_dt([dobj], t)
+                if chemistry_on:
+                    implicit.advance([dobj], t, 0.5 * dt)
+                explicit.advance([dobj], t, dt)
+                if chemistry_on:
+                    implicit.advance([dobj], t + 0.5 * dt, 0.5 * dt)
+                t += dt
+                if regrid_interval and step % regrid_interval == 0:
+                    regrid.regrid()
+                stats.record("T_max", t, dobj.max_norm(
+                    comm=services.get_comm(), k=0))
+                stats.record("ncells", t, float(h.total_cells()))
+                hook.after_step(step, t)
 
         return {
             "t_final": t,

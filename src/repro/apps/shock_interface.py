@@ -33,6 +33,7 @@ from repro.components import (
     States,
 )
 from repro.hydro.diagnostics import hierarchy_interface_circulation
+from repro.obs import trace as _trace
 from repro.resilience.hooks import CheckpointHook
 
 
@@ -120,17 +121,21 @@ class ShockInterfaceDriver(Component):
             h = mesh.hierarchy()
             gamma_series = stats.series("circulation")
         while t < t_end - 1e-12 and step < max_steps:
-            dt = min(integrator.stable_dt([dobj], t), t_end - t)
-            integrator.advance([dobj], t, dt)
-            t += dt
-            step += 1
-            if regrid_interval and h.max_levels > 1 \
-                    and step % regrid_interval == 0:
-                regrid.regrid()
-            circ = hierarchy_interface_circulation(dobj, gamma, comm=comm)
-            stats.record("circulation", (t - t_contact) / tau, circ)
-            gamma_series.append(((t - t_contact) / tau, circ))
-            hook.after_step(step, t)
+            # driver.step spans are the flamegraph roots the sampling
+            # profiler attributes component time under
+            with _trace.span("driver.step", "driver", step=step + 1):
+                dt = min(integrator.stable_dt([dobj], t), t_end - t)
+                integrator.advance([dobj], t, dt)
+                t += dt
+                step += 1
+                if regrid_interval and h.max_levels > 1 \
+                        and step % regrid_interval == 0:
+                    regrid.regrid()
+                circ = hierarchy_interface_circulation(dobj, gamma,
+                                                       comm=comm)
+                stats.record("circulation", (t - t_contact) / tau, circ)
+                gamma_series.append(((t - t_contact) / tau, circ))
+                hook.after_step(step, t)
 
         return {
             "t_final": t,

@@ -18,8 +18,9 @@ series the paper reports via :mod:`repro.bench.reporting`.  ``REPRO_FAST``
 shapes under comparison are preserved.
 """
 
+from repro.bench import trajectory
 from repro.bench.reporting import format_table, save_json, save_report
-from repro.bench.overhead import run_table4
+from repro.bench.overhead import run_table4, run_serial_workload
 from repro.bench.scaling import run_table5, run_fig8, run_fig9
 from repro.bench.shock import run_fig6, run_fig7
 from repro.bench.flame import run_fig3_fig4
@@ -28,7 +29,9 @@ __all__ = [
     "format_table",
     "save_json",
     "save_report",
+    "trajectory",
     "run_table4",
+    "run_serial_workload",
     "run_table5",
     "run_fig8",
     "run_fig9",

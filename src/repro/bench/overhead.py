@@ -167,3 +167,23 @@ def run_table4(fast: bool | None = None) -> dict:
     summary = (f"\nmax |% diff| = {max_abs:.2f}%  "
                f"(paper: |diff| <= 1.54%, no trend)")
     return {"rows": rows, "report": table + summary, "max_abs_pct": max_abs}
+
+
+def run_serial_workload(n_cells: int | None = None,
+                        t_end: float = 6e-6) -> float:
+    """Time one pass of the Table 4 *component-path* serial workload
+    (``n_cells`` independent stiff 0D integrations through the CCA port
+    indirection); returns wall seconds.
+
+    The unit of work the profiler-overhead bench
+    (``benchmarks/bench_profiler_overhead.py``) times with and without
+    the sampling profiler armed.
+    """
+    if n_cells is None:
+        n_cells = 10 if fast_mode() else 30
+    comp = _ComponentCase(1200.0, t_end, 1e-6, 1e-10)
+    sw = Stopwatch()
+    with sw:
+        for _ in range(n_cells):
+            comp.integrate_cell()
+    return sw.elapsed

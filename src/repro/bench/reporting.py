@@ -6,6 +6,8 @@ import json
 import os
 from typing import Any, Sequence
 
+from repro.bench import trajectory
+
 #: Version tag stamped into every machine-readable bench artifact.
 RESULTS_SCHEMA = 1
 
@@ -58,13 +60,19 @@ def _json_default(obj: Any) -> Any:
 
 
 def save_json(name: str, payload: dict[str, Any],
-              directory: str | None = None) -> str:
+              directory: str | None = None,
+              metrics: dict[str, float] | None = None) -> str:
     """Machine-readable companion to :func:`save_report`.
 
     Writes ``bench_results/<name>.json`` (same directory resolution as
     :func:`save_report`, including ``REPRO_BENCH_DIR``) with a
     ``"schema"`` version key injected so downstream tooling can detect
-    layout changes.  Returns the path.
+    layout changes, then appends the run to the repo-root
+    ``BENCH_<name>.json`` trajectory (:mod:`repro.bench.trajectory`) —
+    the history the regression gate ``python -m repro.obs.regress``
+    compares against.  ``metrics`` is the run's explicit KPI dict for
+    that trajectory (lower = better); omitted, the numeric scalars of
+    the payload are used.  Returns the path of the per-run JSON.
     """
     if directory is None:
         directory = os.environ.get(
@@ -76,4 +84,6 @@ def save_json(name: str, payload: dict[str, Any],
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, default=_json_default)
         fh.write("\n")
+    if trajectory.enabled():
+        trajectory.append_run(name, doc, metrics=metrics)
     return path

@@ -27,6 +27,7 @@ from repro.apps.reaction_diffusion import run_reaction_diffusion
 from repro.bench.reporting import format_table
 from repro.mpi import CPLANT, mpirun
 from repro.mpi.perfmodel import MachineModel
+from repro.obs import aggregate
 from repro.util.options import fast_mode
 
 #: 5 steps of 1e-7 s, as in the paper.
@@ -34,10 +35,12 @@ N_STEPS = 5
 DT = 1e-7
 
 
-def _run_case(nprocs: int, nx: int, ny: int,
-              machine: MachineModel = CPLANT) -> float:
-    """Run the RD assembly on ``nprocs`` ranks; return the slowest rank's
-    virtual run time (what a cluster user would measure)."""
+def _run_case_stats(nprocs: int, nx: int, ny: int,
+                    machine: MachineModel = CPLANT) -> dict:
+    """Run the RD assembly on ``nprocs`` ranks; return the per-rank
+    breakdown: ``{"per_rank": [clocks...], "stats": {...}}`` (the
+    :func:`repro.obs.aggregate.rank_clock_summary` reduction, including
+    the Table 5 max/avg load-imbalance ratio)."""
 
     def main(comm):
         run_reaction_diffusion(
@@ -55,7 +58,13 @@ def _run_case(nprocs: int, nx: int, ny: int,
         return comm.clock
 
     clocks = mpirun(nprocs, main, machine=machine)
-    return max(clocks)
+    return aggregate.rank_clock_summary(clocks)
+
+
+def _run_case(nprocs: int, nx: int, ny: int,
+              machine: MachineModel = CPLANT) -> float:
+    """Slowest rank's virtual run time (what a cluster user measures)."""
+    return _run_case_stats(nprocs, nx, ny, machine)["stats"]["max"]
 
 
 @dataclass
@@ -63,6 +72,8 @@ class WeakScalingResult:
     n_local: int
     procs: list[int]
     times: list[float] = field(default_factory=list)
+    #: per-case rank breakdowns (one rank_clock_summary per P)
+    rank_summaries: list[dict] = field(default_factory=list)
 
     @property
     def mean(self) -> float:
@@ -75,6 +86,13 @@ class WeakScalingResult:
     @property
     def stdev(self) -> float:
         return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
+
+    @property
+    def worst_imbalance(self) -> float:
+        """Largest max/avg load-imbalance ratio across the P sweep."""
+        if not self.rank_summaries:
+            return 1.0
+        return max(s["stats"]["imbalance"] for s in self.rank_summaries)
 
 
 #: memoized Fig 8 sweeps keyed by the fast flag (Table 5 reuses Fig 8's
@@ -107,14 +125,17 @@ def run_fig8(fast: bool | None = None) -> dict:
         r = WeakScalingResult(n_local, list(procs))
         for p in procs:
             # strip decomposition: global mesh (p * n_local) x n_local
-            r.times.append(_run_case(p, p * n_local, n_local))
+            case = _run_case_stats(p, p * n_local, n_local)
+            r.rank_summaries.append(case)
+            r.times.append(case["stats"]["max"])
         results.append(r)
     rows = []
     for r in results:
-        for p, t in zip(r.procs, r.times):
-            rows.append([f"{r.n_local}x{r.n_local}", p, t])
+        for p, t, case in zip(r.procs, r.times, r.rank_summaries):
+            rows.append([f"{r.n_local}x{r.n_local}", p, t,
+                         case["stats"]["imbalance"]])
     table = format_table(
-        ["per-rank mesh", "P", "virtual time [s]"], rows,
+        ["per-rank mesh", "P", "virtual time [s]", "imbalance"], rows,
         title="Fig 8 analog: constant per-processor workload "
               "(5 steps of 1e-7 s, 9 vars/point, CPlant model)")
     flatness = {
@@ -123,6 +144,10 @@ def run_fig8(fast: bool | None = None) -> dict:
     summary = "\n".join(
         f"size {n}^2: max/min over P = {v:.3f} (paper: ~flat)"
         for n, v in flatness.items())
+    # per-rank breakdown of the widest run of the largest size — the
+    # load-balance evidence behind the flatness claim
+    widest = results[-1].rank_summaries[-1]
+    summary += "\n" + aggregate.format_rank_summary(widest)
     out = {"results": results, "report": table + "\n" + summary,
            "flatness": flatness}
     _FIG8_CACHE[fast] = out
@@ -136,11 +161,12 @@ def run_table5(fig8_results: list[WeakScalingResult] | None = None,
     if fig8_results is None:
         fig8_results = run_fig8(fast)["results"]
     rows = [
-        [f"{r.n_local} x {r.n_local}", r.mean, r.median, r.stdev]
+        [f"{r.n_local} x {r.n_local}", r.mean, r.median, r.stdev,
+         r.worst_imbalance]
         for r in fig8_results
     ]
     table = format_table(
-        ["Problem Size", "mean T", "median T", "stdev"], rows,
+        ["Problem Size", "mean T", "median T", "stdev", "imbalance"], rows,
         title="Table 5 analog: weak-scaling run-time statistics")
     # run-time ratios should track per-rank cell counts
     ratios = []
@@ -150,8 +176,12 @@ def run_table5(fig8_results: list[WeakScalingResult] | None = None,
     summary = "\n".join(
         f"T({b}^2)/T({a}^2) = {got:.2f} (cell-count ratio {exp:.2f})"
         for b, a, got, exp in ratios)
+    imbalance = {r.n_local: r.worst_imbalance for r in fig8_results}
+    summary += "\n" + "\n".join(
+        f"size {n}^2: worst load imbalance (max/avg) over P = {v:.4f}"
+        for n, v in imbalance.items())
     return {"results": fig8_results, "report": table + "\n" + summary,
-            "ratios": ratios}
+            "ratios": ratios, "imbalance": imbalance}
 
 
 def run_fig9(fast: bool | None = None) -> dict:
@@ -171,9 +201,12 @@ def run_fig9(fast: bool | None = None) -> dict:
     curves = {}
     for n_global in globals_:
         times = []
+        summaries = []
         for p in procs:
             usable = min(p, n_global)  # cannot cut more strips than rows
-            times.append(_run_case(usable, n_global, n_global))
+            case = _run_case_stats(usable, n_global, n_global)
+            summaries.append(case)
+            times.append(case["stats"]["max"])
         t1 = times[0]
         eff = [t1 / (p * tp) for p, tp in zip(procs, times)]
         curves[n_global] = {
@@ -181,6 +214,8 @@ def run_fig9(fast: bool | None = None) -> dict:
             "times": times,
             "ideal": [t1 / p for p in procs],
             "efficiency": eff,
+            "rank_summaries": summaries,
+            "imbalance": [s["stats"]["imbalance"] for s in summaries],
         }
     rows = []
     for n_global, c in curves.items():

@@ -22,6 +22,8 @@ from typing import Any, Callable, Sequence
 from repro.errors import CommAbortedError, MPIError
 from repro.mpi.comm import Comm, World
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
+from repro.obs import trace as _trace
+from repro.obs.aggregate import record_rank_clocks
 from repro.util import logging as rlog
 
 
@@ -108,6 +110,17 @@ def mpirun(
             if not isinstance(e, CommAbortedError)
         }
         raise RankFailure(primary or failures)
+    if _trace.on and nprocs > 1:
+        # Teardown aggregation: every traced SCMD run records each rank's
+        # final virtual clock plus the reduced summary (max/avg imbalance,
+        # p95, ...) into the default registry — the per-rank breakdown the
+        # scaling benches and the metrics JSON report.
+        summary = record_rank_clocks(clocks)
+        _trace.instant(
+            "mpi.world_teardown", "launcher", nprocs=nprocs,
+            imbalance=summary["stats"]["imbalance"],
+            clock_max=summary["stats"]["max"],
+            clock_mean=summary["stats"]["mean"])
     if return_clocks:
         return [(results[r], clocks[r]) for r in range(nprocs)]
     return results

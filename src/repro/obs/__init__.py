@@ -8,9 +8,20 @@ infrastructure.  Three pieces:
 * :mod:`repro.obs.trace` — a structured tracer (spans + instant events,
   per-thread buffers, SCMD-rank attribution, wall *and* virtual time);
 * :mod:`repro.obs.metrics` — a labelled metrics registry (counters,
-  gauges, histograms) that also backs :mod:`repro.cca.profiling`;
+  gauges, histograms with p50/p95) that also backs
+  :mod:`repro.cca.profiling`;
 * :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON with
-  one track per rank, plus a flat metrics JSON.
+  one track per rank, plus a flat metrics JSON (the shared schema-1
+  envelope every metrics producer in the repo emits);
+* :mod:`repro.obs.profiler` — a flight-recorder sampling profiler
+  (``REPRO_PROFILE=1``): span-stack + Python-frame snapshots into a
+  bounded ring, folded-stack flamegraph export;
+* :mod:`repro.obs.aggregate` — cross-rank reducers (min/mean/max/
+  p50/p95 and the Table 5 max/avg load-imbalance ratio), recorded
+  automatically at ``mpirun`` teardown for traced runs;
+* :mod:`repro.obs.regress` — the bench-trajectory regression gate
+  (``python -m repro.obs.regress``) over the repo-root
+  ``BENCH_<name>.json`` trajectories that every bench run appends to.
 
 Instrumentation hooks live in the layers themselves (CCA port calls, MPI
 sends/recvs/collectives, SAMR regrid/ghost-exchange/load-balance,
@@ -38,12 +49,14 @@ import atexit
 import os
 from contextlib import contextmanager
 
-from repro.obs import trace
+from repro.obs import aggregate, profiler, trace
 from repro.obs.export import (
     chrome_trace_events,
     export_chrome_trace,
     export_metrics,
+    metric_record,
     metrics_payload,
+    wrap_metrics,
 )
 from repro.obs.metrics import (
     Counter,
@@ -52,6 +65,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.trace import (
     Event,
     NULL_SPAN,
@@ -69,7 +83,8 @@ __all__ = [
     "Event", "Span", "NULL_SPAN",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
     "chrome_trace_events", "export_chrome_trace", "export_metrics",
-    "metrics_payload",
+    "metrics_payload", "metric_record", "wrap_metrics",
+    "aggregate", "profiler", "SamplingProfiler",
 ]
 
 

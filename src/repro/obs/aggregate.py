@@ -1,0 +1,168 @@
+"""Cross-rank aggregation reducers for SCMD runs.
+
+The paper's Table 5 characterizes a parallel run by statistics over the
+per-processor run times (mean / median / stdev — the "homogeneous
+machine" check).  This module is that reduction grown into reusable
+infrastructure: given any per-rank series (virtual clocks, busy times,
+byte counts) it produces ``min / mean / max / p50 / p95`` plus the
+**load-imbalance ratio** ``max / avg`` — the canonical SPMD imbalance
+statistic (1.0 = perfectly balanced; FLASH and Cactus both report the
+same number from their built-in monitors).
+
+Wired in two places:
+
+* :func:`repro.mpi.launcher.mpirun` teardown records every rank's final
+  virtual clock (and the reduced summary) into the default metrics
+  registry whenever tracing is enabled — so every traced SCMD run ships
+  a per-rank breakdown for free;
+* the Table 5 / Fig 8-9 scaling benches call :func:`rank_clock_summary`
+  per case and publish the imbalance ratio next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Gauge names the mpirun teardown hook records under.
+RANK_CLOCK_METRIC = "mpi.rank_clock_seconds"
+IMBALANCE_METRIC = "mpi.clock_imbalance"
+CLOCK_MAX_METRIC = "mpi.clock_max_seconds"
+CLOCK_MEAN_METRIC = "mpi.clock_mean_seconds"
+CLOCK_P95_METRIC = "mpi.clock_p95_seconds"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact q-th percentile (``0 <= q <= 100``) with linear
+    interpolation between order statistics (numpy's default method) —
+    the reducer used for p50/p95 in every cross-rank summary."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    data = sorted(float(v) for v in values)
+    if len(data) == 1:
+        return data[0]
+    q = min(max(float(q), 0.0), 100.0)
+    pos = q / 100.0 * (len(data) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def imbalance(values: Sequence[float]) -> float:
+    """Load-imbalance ratio ``max / avg`` (Table 5's statistic).
+
+    1.0 means perfectly balanced; a run where one rank takes twice the
+    average reports 2.0.  Degenerate inputs (empty, or an all-zero
+    series) report 1.0 — "nothing measured" is not an imbalance.
+    """
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    if mean == 0.0:
+        return 1.0
+    return max(values) / mean
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Reduce a per-rank series to ``n / min / mean / max / p50 / p95 /
+    imbalance`` (empty input raises — a summary of nothing is a bug)."""
+    if not values:
+        raise ValueError("summarize of an empty sequence")
+    data = [float(v) for v in values]
+    return {
+        "n": float(len(data)),
+        "min": min(data),
+        "mean": sum(data) / len(data),
+        "max": max(data),
+        "p50": percentile(data, 50.0),
+        "p95": percentile(data, 95.0),
+        "imbalance": imbalance(data),
+    }
+
+
+def rank_clock_summary(clocks: Sequence[float]) -> dict[str, Any]:
+    """Per-rank virtual clocks + the reduced statistics, JSON-ready:
+    ``{"per_rank": [...], "stats": {...}}``."""
+    return {"per_rank": [float(c) for c in clocks],
+            "stats": summarize(clocks)}
+
+
+def record_rank_clocks(clocks: Sequence[float],
+                       registry: MetricsRegistry | None = None
+                       ) -> dict[str, Any]:
+    """Record every rank's final clock and the reduced summary as gauges
+    (``mpi.rank_clock_seconds{rank=r}``, ``mpi.clock_imbalance``, ...).
+
+    Called from :func:`repro.mpi.launcher.mpirun` teardown while tracing
+    is enabled; returns the :func:`rank_clock_summary` it recorded.
+    """
+    registry = registry if registry is not None else get_registry()
+    summary = rank_clock_summary(clocks)
+    for rank, clock in enumerate(summary["per_rank"]):
+        registry.gauge(RANK_CLOCK_METRIC, rank=rank).set(clock)
+    stats = summary["stats"]
+    registry.gauge(IMBALANCE_METRIC).set(stats["imbalance"])
+    registry.gauge(CLOCK_MAX_METRIC).set(stats["max"])
+    registry.gauge(CLOCK_MEAN_METRIC).set(stats["mean"])
+    registry.gauge(CLOCK_P95_METRIC).set(stats["p95"])
+    return summary
+
+
+def rank_trace_summary(events: Iterable[_trace.Event] | None = None
+                       ) -> dict[int, dict[str, Any]]:
+    """Per-rank roll-up of a trace: event count and busy seconds per
+    category (complete spans only; rank-untagged events are skipped)."""
+    if events is None:
+        events = _trace.events()
+    out: dict[int, dict[str, Any]] = {}
+    for e in events:
+        if e.rank is None:
+            continue
+        entry = out.setdefault(e.rank, {"events": 0, "busy_seconds": {}})
+        entry["events"] += 1
+        if e.ph == "X":
+            busy = entry["busy_seconds"]
+            busy[e.cat] = busy.get(e.cat, 0.0) + e.dur / 1e6
+    return out
+
+
+def reduce_rank_traces(per_rank: Mapping[int, Mapping[str, Any]]
+                       ) -> dict[str, dict[str, float]]:
+    """Reduce :func:`rank_trace_summary` output across ranks: one
+    :func:`summarize` block per span category (busy seconds) plus one
+    for the per-rank event counts."""
+    if not per_rank:
+        return {}
+    ranks = sorted(per_rank)
+    cats = sorted({cat for entry in per_rank.values()
+                   for cat in entry["busy_seconds"]})
+    out: dict[str, dict[str, float]] = {
+        "events": summarize([per_rank[r]["events"] for r in ranks]),
+    }
+    for cat in cats:
+        out[f"busy.{cat}"] = summarize(
+            [per_rank[r]["busy_seconds"].get(cat, 0.0) for r in ranks])
+    return out
+
+
+def format_rank_summary(summary: Mapping[str, Any],
+                        label: str = "virtual clock [s]") -> str:
+    """Text block for a :func:`rank_clock_summary` — the per-rank
+    breakdown the scaling benches append to their reports."""
+    per_rank = summary["per_rank"]
+    stats = summary["stats"]
+    lines = [f"per-rank {label}:"]
+    for rank, value in enumerate(per_rank):
+        lines.append(f"  rank {rank}: {value:.6g}")
+    lines.append(
+        f"  min {stats['min']:.6g}  mean {stats['mean']:.6g}  "
+        f"max {stats['max']:.6g}  p50 {stats['p50']:.6g}  "
+        f"p95 {stats['p95']:.6g}")
+    lines.append(f"  load imbalance (max/avg): {stats['imbalance']:.4f}")
+    return "\n".join(lines)

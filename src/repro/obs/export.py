@@ -9,6 +9,26 @@ and ``"M"`` metadata records naming every track.
 The metrics export is a flat list of ``{name, type, labels, ...}``
 records under a ``schema`` version field, the machine-readable companion
 of the bench text tables.
+
+**Shared metrics schema (version 1).**  Every metrics JSON this repo
+emits — :func:`export_metrics` snapshots of a
+:class:`~repro.obs.metrics.MetricsRegistry` *and* the resilience
+runner's ``--metrics`` report (:mod:`repro.resilience.__main__`) — is an
+envelope one consumer can read::
+
+    {"schema": 1, "metrics": [<record>, ...], ...producer extras...}
+
+where every record carries at least::
+
+    {"name": str, "type": "counter" | "gauge" | "histogram",
+     "labels": {str: str}, ...kind-specific value fields...}
+
+Counters and gauges add ``"value"``; histograms add ``"count"``,
+``"sum"``, ``"min"``, ``"max"``, ``"mean"``, ``"p50"``, ``"p95"`` and
+``"buckets"``.  Producers that do not own a registry build records with
+:func:`metric_record` and wrap them with :func:`wrap_metrics`; extra
+top-level keys (the resilience runner keeps its legacy report fields
+there) are allowed and ignored by schema-driven consumers.
 """
 
 from __future__ import annotations
@@ -105,6 +125,29 @@ def metrics_payload(registry: MetricsRegistry | None = None) -> dict:
     """JSON-ready snapshot of a registry (the default one if omitted)."""
     registry = registry if registry is not None else get_registry()
     return {"schema": METRICS_SCHEMA, "metrics": registry.snapshot()}
+
+
+def metric_record(name: str, kind: str, value: float | None = None,
+                  labels: dict[str, Any] | None = None,
+                  **fields: Any) -> dict:
+    """One schema-1 metric record (see the module docstring) for
+    producers that do not own a :class:`MetricsRegistry` — e.g. the
+    resilience runner's report."""
+    record: dict[str, Any] = {
+        "name": name,
+        "type": kind,
+        "labels": {k: str(v) for k, v in (labels or {}).items()},
+    }
+    if value is not None:
+        record["value"] = float(value)
+    record.update(fields)
+    return record
+
+
+def wrap_metrics(records: Sequence[dict], **extra: Any) -> dict:
+    """Wrap pre-built records in the schema-1 envelope (plus any
+    producer-specific top-level extras)."""
+    return {"schema": METRICS_SCHEMA, "metrics": list(records), **extra}
 
 
 def _ensure_parent(path: str) -> None:

@@ -110,6 +110,38 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the q-th percentile (``0 <= q <= 100``) from the
+        bucket counts.
+
+        The mass of each bucket is spread linearly between its bounds
+        (the first bucket starts at the observed minimum, the overflow
+        bucket ends at the observed maximum) and the result is clamped
+        to ``[min, max]`` — so the estimate is *exact* whenever the
+        distribution is uniform within each occupied bucket, and always
+        exact for single-valued distributions.  ``None`` when empty.
+        """
+        with self._lock:
+            if not self.count:
+                return None
+            counts = list(self.counts)
+            count, mn, mx = self.count, self.min, self.max
+        q = min(max(float(q), 0.0), 100.0)
+        target = q / 100.0 * count
+        bounds: list[tuple[float, float]] = []
+        prev = min(mn, self.edges[0]) if self.edges else mn
+        for edge in self.edges:
+            bounds.append((prev, edge))
+            prev = edge
+        bounds.append((prev, max(mx, prev)))        # overflow bucket
+        cum = 0.0
+        for (lo, hi), c in zip(bounds, counts):
+            if c and cum + c >= target:
+                value = lo + (hi - lo) * (target - cum) / c
+                return min(max(value, mn), mx)
+            cum += c
+        return mx
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -117,6 +149,8 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
             "buckets": {
                 **{f"le_{edge:g}": c
                    for edge, c in zip(self.edges, self.counts)},

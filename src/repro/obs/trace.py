@@ -46,6 +46,23 @@ _t0 = 0.0
 
 _tls = threading.local()
 
+#: Characters the folded-stack flamegraph format reserves (``;`` is the
+#: frame separator, whitespace separates the stack from its count), mapped
+#: to safe replacements at span-creation time so every span name is a
+#: legal flamegraph frame.
+_SANITIZE = str.maketrans({";": ":", " ": "_", "\t": "_", "\n": "_",
+                           "\r": "_"})
+
+
+def sanitize(name: str) -> str:
+    """Replace folded-stack separators (``;`` and whitespace) in a span
+    name.  Fast path: clean names (the overwhelming majority) are
+    returned unchanged without allocating."""
+    if ";" in name or " " in name or "\t" in name or "\n" in name \
+            or "\r" in name:
+        return name.translate(_SANITIZE)
+    return name
+
 
 class Event(NamedTuple):
     """One recorded trace event (internal form, pre-export)."""
@@ -68,6 +85,46 @@ def _buf() -> list:
         with _lock:
             _buffers.append((threading.current_thread().name, _tls.buf))
     return _tls.buf
+
+
+# -- live span stacks (sampled by repro.obs.profiler) -------------------------
+class _ActiveStack:
+    """One thread's currently-open spans, innermost last.
+
+    Maintained by :class:`Span` enter/exit while tracing is on; the
+    sampling profiler reads it from its own thread (list append/pop and
+    slice-copy are atomic under the GIL, so no per-span locking)."""
+
+    __slots__ = ("thread_name", "rank", "frames")
+
+    def __init__(self, thread_name: str) -> None:
+        self.thread_name = thread_name
+        self.rank: int | None = None
+        self.frames: list[tuple[str, str]] = []   # (name, cat), root first
+
+
+#: thread ident -> that thread's live span stack (threads register on
+#: first span; a reused ident simply overwrites the dead thread's entry).
+_active: dict[int, _ActiveStack] = {}
+
+
+def _stack_of() -> _ActiveStack:
+    st = getattr(_tls, "stack", None)
+    if st is None:
+        st = _tls.stack = _ActiveStack(threading.current_thread().name)
+        with _lock:
+            _active[threading.get_ident()] = st
+    return st
+
+
+def active_stacks() -> list[tuple[int, str, int | None, tuple]]:
+    """Snapshot of every registered thread's live span stack:
+    ``(thread ident, thread name, rank, ((name, cat), ...))`` tuples,
+    root span first.  Safe to call from any thread."""
+    with _lock:
+        items = list(_active.items())
+    return [(ident, st.thread_name, st.rank, tuple(st.frames))
+            for ident, st in items]
 
 
 # -- session control ----------------------------------------------------------
@@ -117,7 +174,7 @@ class Span:
     __slots__ = ("name", "cat", "args", "_start")
 
     def __init__(self, name: str, cat: str, args: dict[str, Any]) -> None:
-        self.name = name
+        self.name = sanitize(name)
         self.cat = cat
         self.args = args
 
@@ -126,11 +183,17 @@ class Span:
         self.args.update(more)
 
     def __enter__(self) -> "Span":
+        st = _stack_of()
+        st.rank = get_rank()
+        st.frames.append((self.name, self.cat))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         end = time.perf_counter()
+        st = _tls.stack           # registered in __enter__
+        if st.frames:
+            st.frames.pop()
         _buf().append(Event(
             "X", self.name, self.cat, (self._start - _t0) * 1e6,
             (end - self._start) * 1e6, get_rank(),
@@ -184,7 +247,8 @@ def complete(name: str, cat: str, t_start: float, **args: Any) -> None:
     """
     end = time.perf_counter()
     _buf().append(Event(
-        "X", name, cat, (t_start - _t0) * 1e6, (end - t_start) * 1e6,
+        "X", sanitize(name), cat, (t_start - _t0) * 1e6,
+        (end - t_start) * 1e6,
         get_rank(), threading.current_thread().name, args or None))
 
 
@@ -193,5 +257,5 @@ def instant(name: str, cat: str = "app", **args: Any) -> None:
     if not on:
         return
     _buf().append(Event(
-        "i", name, cat, (time.perf_counter() - _t0) * 1e6, 0.0,
+        "i", sanitize(name), cat, (time.perf_counter() - _t0) * 1e6, 0.0,
         get_rank(), threading.current_thread().name, args or None))

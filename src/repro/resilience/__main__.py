@@ -118,8 +118,13 @@ def _cmd_run(args) -> int:
         if args.fault:
             faults.deactivate()
     if args.metrics:
+        # Schema-1 envelope (repro.obs.export) + the legacy report keys
+        # at top level: obs-metrics consumers read "metrics", existing
+        # consumers keep reading "ok"/"restarts"/... unchanged.
+        from repro.obs.export import wrap_metrics
+        payload = {**report.to_json(), **wrap_metrics(report.to_metrics())}
         with open(args.metrics, "w", encoding="utf-8") as fh:
-            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
     status = "ok" if report.ok else "FAILED"
     print(f"{status}: {report.attempts} attempt(s), "

@@ -66,6 +66,26 @@ class RunReport:
             "results": summaries,
         }
 
+    def to_metrics(self) -> list[dict]:
+        """The report as schema-1 metric records (see
+        :mod:`repro.obs.export`) so one consumer can read the runner's
+        ``--metrics`` JSON and an obs registry snapshot alike."""
+        from repro.obs.export import metric_record
+        records = [
+            metric_record("resilience.attempts", "counter", self.attempts),
+            metric_record("resilience.restarts", "counter", self.restarts),
+            metric_record("resilience.failures", "counter",
+                          len(self.failures)),
+            metric_record("resilience.ok", "gauge",
+                          1.0 if self.ok else 0.0),
+            metric_record("resilience.nprocs", "gauge", self.nprocs),
+        ]
+        for kind, count in sorted(self.injected.items()):
+            records.append(metric_record(
+                "resilience.injected_faults", "counter", count,
+                labels={"kind": kind}))
+        return records
+
 
 def with_resume(text: str) -> str:
     """Inject ``parameter <driver> resume 1`` ahead of every ``go``.

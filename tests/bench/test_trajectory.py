@@ -1,0 +1,100 @@
+"""Bench-trajectory ledger: append, fingerprint, KPI extraction."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import trajectory
+from repro.bench.reporting import save_json
+
+
+@pytest.fixture
+def traj_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRAJECTORY_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_TRAJECTORY", raising=False)
+    return tmp_path
+
+
+def test_enabled_env_values(monkeypatch):
+    monkeypatch.delenv("REPRO_TRAJECTORY", raising=False)
+    assert trajectory.enabled()
+    for off in ("0", "false", "No", "OFF"):
+        monkeypatch.setenv("REPRO_TRAJECTORY", off)
+        assert not trajectory.enabled()
+    monkeypatch.setenv("REPRO_TRAJECTORY", "1")
+    assert trajectory.enabled()
+
+
+def test_append_run_creates_schema_versioned_ledger(traj_dir):
+    path = trajectory.append_run("demo", {"t": 1.25, "n": 3})
+    assert path == str(traj_dir / "BENCH_demo.json")
+    doc = json.loads(open(path).read())
+    assert doc["schema"] == trajectory.TRAJECTORY_SCHEMA
+    assert doc["bench"] == "demo"
+    (run,) = doc["runs"]
+    assert run["metrics"] == {"t": 1.25, "n": 3.0}
+    fp = run["fingerprint"]
+    assert set(fp) == {"host", "commit", "fast", "python"}
+    assert isinstance(fp["fast"], bool)
+
+
+def test_append_accumulates_and_caps_history(traj_dir):
+    for i in range(6):
+        trajectory.append_run("demo", {"t": float(i)}, max_runs=4)
+    doc = trajectory.load_trajectory(
+        trajectory.trajectory_path("demo"))
+    assert [r["metrics"]["t"] for r in doc["runs"]] == [2.0, 3.0, 4.0, 5.0]
+
+
+def test_explicit_metrics_override_extraction(traj_dir):
+    trajectory.append_run("demo", {"t": 1.0, "junk": 9.0},
+                          metrics={"kpi": 2.0})
+    doc = trajectory.load_trajectory(trajectory.trajectory_path("demo"))
+    assert doc["runs"][0]["metrics"] == {"kpi": 2.0}
+
+
+def test_extract_metrics_flattens_scalars_only():
+    out = trajectory.extract_metrics({
+        "schema": 1,               # dropped
+        "t": 1.5,
+        "n": 3,
+        "ok": True,                # bools dropped
+        "times": [1, 2, 3],        # lists dropped
+        "nested": {"mean": 2.0, "deep": {"max": 4.0}},
+        "label": "text",           # strings dropped
+    })
+    assert out == {"t": 1.5, "n": 3.0, "nested.mean": 2.0,
+                   "nested.deep.max": 4.0}
+
+
+def test_corrupt_ledger_is_replaced_not_fatal(traj_dir):
+    path = trajectory.trajectory_path("demo")
+    with open(path, "w") as fh:
+        fh.write("{broken")
+    assert trajectory.load_trajectory(path) is None
+    trajectory.append_run("demo", {"t": 1.0})
+    doc = trajectory.load_trajectory(path)
+    assert len(doc["runs"]) == 1
+
+
+def test_discover_sorted(traj_dir):
+    trajectory.append_run("zeta", {"t": 1.0})
+    trajectory.append_run("alpha", {"t": 1.0})
+    names = [os.path.basename(p) for p in trajectory.discover()]
+    assert names == ["BENCH_alpha.json", "BENCH_zeta.json"]
+    assert trajectory.discover(str(traj_dir / "missing")) == []
+
+
+def test_save_json_appends_to_trajectory(traj_dir, tmp_path, monkeypatch):
+    """The reporting layer feeds the ledger: every save_json call adds
+    one trajectory entry unless REPRO_TRAJECTORY=0."""
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench_results"))
+    save_json("demo", {"t": 1.0}, metrics={"t": 1.0})
+    save_json("demo", {"t": 1.1}, metrics={"t": 1.1})
+    doc = trajectory.load_trajectory(trajectory.trajectory_path("demo"))
+    assert [r["metrics"]["t"] for r in doc["runs"]] == [1.0, 1.1]
+    monkeypatch.setenv("REPRO_TRAJECTORY", "0")
+    save_json("demo", {"t": 9.0}, metrics={"t": 9.0})
+    doc = trajectory.load_trajectory(trajectory.trajectory_path("demo"))
+    assert len(doc["runs"]) == 2

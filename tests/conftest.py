@@ -2,8 +2,13 @@
 
 Tests force ``REPRO_FAST`` problem sizes so the suite stays quick; the
 benchmarks under ``benchmarks/`` run the paper-scale configurations.
+
+Trajectory appending is off by default so unit tests that exercise
+``save_json`` never touch the committed repo-root ``BENCH_*.json``
+ledgers (the trajectory tests re-enable it into a tmp dir).
 """
 
 import os
 
 os.environ.setdefault("REPRO_FAST", "1")
+os.environ.setdefault("REPRO_TRAJECTORY", "0")

@@ -115,3 +115,58 @@ def test_counter_thread_safety():
     for t in threads:
         t.join()
     assert c.value == n * per
+
+
+# ---------------------------------------------------------- percentiles
+def test_histogram_percentile_empty_is_none():
+    h = MetricsRegistry().histogram("empty")
+    assert h.percentile(50.0) is None
+    snap = h.snapshot()
+    assert snap["p50"] is None and snap["p95"] is None
+
+
+def test_histogram_percentile_single_value_exact():
+    # all mass in one point: every percentile is that point exactly
+    # (the clamp to [min, max] guarantees it regardless of bucket width)
+    h = MetricsRegistry().histogram("point")
+    for _ in range(10):
+        h.observe(0.0042)
+    for q in (0.0, 50.0, 95.0, 100.0):
+        assert h.percentile(q) == pytest.approx(0.0042)
+
+
+def test_histogram_percentile_uniform_within_bucket_exact():
+    # custom single bucket [0, 1]: linear spread makes the estimate the
+    # analytic uniform percentile
+    h = MetricsRegistry().histogram("uniform", edges=(1.0,))
+    for i in range(100):
+        h.observe(i / 100.0)
+    assert h.percentile(50.0) == pytest.approx(0.5, abs=0.02)
+    assert h.percentile(95.0) == pytest.approx(0.95, abs=0.02)
+
+
+def test_histogram_percentile_respects_bucket_separation():
+    # two well-separated modes: p50 stays in the low bucket, p95 in the
+    # high one — the bucket walk picks the right bucket every time
+    h = MetricsRegistry().histogram("bimodal")
+    for _ in range(90):
+        h.observe(5e-5)       # bucket (1e-5, 1e-4]
+    for _ in range(10):
+        h.observe(5.0)        # bucket (1.0, 10]
+    p50 = h.percentile(50.0)
+    p95 = h.percentile(95.0)
+    assert 1e-5 < p50 <= 1e-4
+    assert 1.0 < p95 <= 5.0   # clamped at the observed max
+    assert h.percentile(100.0) == pytest.approx(5.0)
+
+
+def test_histogram_percentile_overflow_bucket_clamped():
+    # mass beyond the last edge: estimates clamp to the observed max
+    h = MetricsRegistry().histogram("over")
+    h.observe(1e5)
+    h.observe(2e5)
+    assert h.percentile(100.0) == pytest.approx(2e5)
+    p95 = h.percentile(95.0)
+    assert 1e5 <= p95 <= 2e5
+    snap = h.snapshot()
+    assert 1e5 <= snap["p50"] <= 2e5

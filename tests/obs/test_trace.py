@@ -145,3 +145,76 @@ def test_repro_trace_env_off_values(tmp_path):
     env = _child_env(REPRO_TRACE="0", REPRO_TRACE_PATH=str(out))
     subprocess.run([sys.executable, "-c", code], check=True, env=env)
     assert not out.exists()
+
+
+# -------------------------------------------------------------- sanitizing
+def test_sanitize_folds_separators():
+    assert trace.sanitize("a;b c\td\ne") == "a:b_c_d_e"
+    assert trace.sanitize("clean.name") == "clean.name"
+
+
+def test_span_names_sanitized_at_creation():
+    """Names are flamegraph-safe the moment the span exists — `;` is the
+    folded-stack separator, whitespace breaks the count column."""
+    trace.start()
+    try:
+        with trace.span("bad;name with space", cat="app"):
+            pass
+        trace.instant("also bad;here", "app")
+        t0 = time.perf_counter()
+        trace.complete("third;one", "app", t0)
+        names = [e.name for e in trace.events()]
+    finally:
+        trace.stop()
+    assert "bad:name_with_space" in names
+    assert "also_bad:here" in names
+    assert "third:one" in names
+    for name in names:
+        assert ";" not in name and " " not in name
+
+
+# ------------------------------------------------------------ active stacks
+def _my_stack():
+    """This thread's entry in the active-stack registry (threads stay
+    registered across spans, so look ourselves up by ident)."""
+    import threading
+    me = threading.get_ident()
+    for ident, _name, rank, frames in trace.active_stacks():
+        if ident == me:
+            return rank, frames
+    return None, ()
+
+
+def test_active_stacks_follow_span_nesting():
+    trace.start()
+    try:
+        with trace.span("outer", cat="driver"):
+            with trace.span("Comp:port.m", cat="port"):
+                _, frames = _my_stack()
+                assert frames == (("outer", "driver"),
+                                  ("Comp:port.m", "port"))
+            _, frames = _my_stack()
+            assert frames == (("outer", "driver"),)
+        _, frames = _my_stack()
+        assert frames == ()
+    finally:
+        trace.stop()
+
+
+def test_active_stacks_carry_rank():
+    from repro.util.logging import rank_context
+    trace.start()
+    try:
+        with rank_context(7):
+            with trace.span("work", cat="app"):
+                rank, frames = _my_stack()
+                assert rank == 7 and frames
+    finally:
+        trace.stop()
+
+
+def test_no_stack_maintenance_when_tracing_off():
+    assert trace.on is False
+    with trace.span("ghost", cat="app"):
+        _, frames = _my_stack()
+        assert frames == ()

@@ -83,3 +83,27 @@ def test_inspect_empty_prefix_exits_one(tmp_path, capsys):
     code = main(["inspect", str(tmp_path / "nothing")])
     assert code == 1
     assert "no checkpoints" in capsys.readouterr().out
+
+
+def test_metrics_json_shared_schema(tmp_path, monkeypatch):
+    """--metrics emits the repro.obs shared metrics schema (version 1)
+    next to the legacy top-level keys: a flat record list any scraper of
+    REPRO_METRICS_PATH snapshots can also consume."""
+    monkeypatch.chdir(tmp_path)
+    metrics = tmp_path / "metrics.json"
+    assert main(["run", _example_rc(),
+                 "--fault", "kill_rank=0,kill_step=3",
+                 "--metrics", str(metrics)]) == 0
+    data = json.loads(metrics.read_text())
+    assert data["schema"] == 1
+    records = {(m["name"], tuple(sorted((m.get("labels") or {}).items()))):
+               m for m in data["metrics"]}
+    assert records[("resilience.restarts", ())]["type"] == "counter"
+    assert records[("resilience.restarts", ())]["value"] == 1.0
+    assert records[("resilience.ok", ())]["type"] == "gauge"
+    assert records[("resilience.ok", ())]["value"] == 1.0
+    kills = records[("resilience.injected_faults", (("kind", "kills"),))]
+    assert kills["type"] == "counter" and kills["value"] == 1.0
+    # every record is self-describing
+    for m in data["metrics"]:
+        assert {"name", "type"} <= set(m)
