@@ -30,7 +30,7 @@ import importlib.util
 import os
 from typing import Sequence, Type
 
-from repro.analysis import lifecycle, scmd_safety, wiring
+from repro.analysis import lifecycle, races, scmd_safety, wiring
 from repro.analysis.findings import (
     CODES,
     Finding,
@@ -55,6 +55,7 @@ __all__ = [
     "analyze_targets",
     "default_targets",
     "lifecycle",
+    "races",
     "scmd_safety",
     "wiring",
 ]
@@ -62,19 +63,29 @@ __all__ = [
 
 def analyze_python_file(path: str,
                         allowlist=scmd_safety.DEFAULT_ALLOWLIST,
+                        check_races: bool = False,
                         ) -> list[Finding]:
-    """Lifecycle + SCMD passes over one Python source file."""
+    """Lifecycle + SCMD passes (and optionally the RA3xx race pass)
+    over one Python source file."""
     with open(path, encoding="utf-8") as fh:
         text = fh.read()
-    return (lifecycle.analyze_source(text, path)
-            + scmd_safety.analyze_source(text, path, allowlist))
+    out = (lifecycle.analyze_source(text, path)
+           + scmd_safety.analyze_source(text, path, allowlist))
+    if check_races:
+        out += races.analyze_source_races(text, path, allowlist)
+    return out
 
 
 def analyze_rc_file(path: str,
                     classes: Sequence[Type[Component]] | None = None,
+                    check_races: bool = False,
                     ) -> list[Finding]:
-    """Wiring analysis of an rc-script file."""
-    return wiring.analyze_script_file(path, classes)
+    """Wiring analysis (and optionally the RA3xx happens-before checks)
+    of an rc-script file."""
+    out = wiring.analyze_script_file(path, classes)
+    if check_races:
+        out += races.analyze_script_file_races(path, classes)
+    return out
 
 
 def _module_dir(name: str) -> str | None:
@@ -93,6 +104,7 @@ def _module_dir(name: str) -> str | None:
 def analyze_target(target: str,
                    classes: Sequence[Type[Component]] | None = None,
                    allowlist=scmd_safety.DEFAULT_ALLOWLIST,
+                   check_races: bool = False,
                    ) -> list[Finding]:
     """Analyze one CLI target; raises :class:`AnalysisError` when the
     target cannot be resolved.
@@ -111,17 +123,18 @@ def analyze_target(target: str,
             for fn in sorted(filenames):
                 full = os.path.join(dirpath, fn)
                 if fn.endswith(".py"):
-                    out.extend(analyze_python_file(full, allowlist))
+                    out.extend(analyze_python_file(full, allowlist,
+                                                   check_races))
                 elif fn.endswith(".rc"):
-                    out.extend(analyze_rc_file(full, classes))
+                    out.extend(analyze_rc_file(full, classes, check_races))
         return out
     if os.path.isfile(target):
         if target.endswith(".py"):
-            return analyze_python_file(target, allowlist)
-        return analyze_rc_file(target, classes)
+            return analyze_python_file(target, allowlist, check_races)
+        return analyze_rc_file(target, classes, check_races)
     resolved = _module_dir(target)
     if resolved is not None:
-        return analyze_target(resolved, classes, allowlist)
+        return analyze_target(resolved, classes, allowlist, check_races)
     raise AnalysisError(
         f"cannot resolve target {target!r}: not an assembly name "
         f"({', '.join(wiring.assembly_names())}), file, directory, or "
@@ -135,7 +148,8 @@ def default_targets() -> list[str]:
 
 def analyze_targets(targets: Sequence[str] | None = None,
                     classes: Sequence[Type[Component]] | None = None,
-                    allowlist=scmd_safety.DEFAULT_ALLOWLIST) -> Report:
+                    allowlist=scmd_safety.DEFAULT_ALLOWLIST,
+                    check_races: bool = False) -> Report:
     """Analyze many targets into one :class:`Report`.
 
     With no targets, covers :func:`default_targets` plus the shipped
@@ -144,12 +158,17 @@ def analyze_targets(targets: Sequence[str] | None = None,
     report = Report()
     if targets:
         for target in targets:
-            report.extend(analyze_target(target, classes, allowlist))
+            report.extend(analyze_target(target, classes, allowlist,
+                                         check_races))
         return report
     for target in default_targets():
-        report.extend(analyze_target(target, classes, allowlist))
+        report.extend(analyze_target(target, classes, allowlist,
+                                     check_races))
     from repro.apps.assemblies import IGNITION0D_SCRIPT
 
     report.extend(wiring.analyze_script(
         IGNITION0D_SCRIPT, classes, path="<IGNITION0D_SCRIPT>"))
+    if check_races:
+        report.extend(races.analyze_script_races(
+            IGNITION0D_SCRIPT, classes, path="<IGNITION0D_SCRIPT>"))
     return report

@@ -41,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="fail (exit 1) on warnings too, not only errors")
     parser.add_argument(
+        "--races", action="store_true",
+        help="also run the RA3xx SCMD race pass (happens-before "
+             "approximation over shared read/write sets and rc-script "
+             "wiring)")
+    parser.add_argument(
         "--min-severity", choices=("info", "warning", "error"),
         default="info",
         help="lowest severity shown in text output (default: info)")
@@ -61,7 +66,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     allowlist = DEFAULT_ALLOWLIST | frozenset(args.allow)
     try:
-        report = analyze_targets(args.targets or None, allowlist=allowlist)
+        report = analyze_targets(args.targets or None, allowlist=allowlist,
+                                 check_races=args.races)
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

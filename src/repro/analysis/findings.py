@@ -13,6 +13,9 @@ Code ranges
     Component lifecycle linting (AST over component source).
 ``RA2xx``
     SCMD shared-state analysis (rank-threads share one address space).
+``RA3xx``
+    SCMD race detection (happens-before approximation over shared
+    read/write sets and the rc-script wiring graph).
 """
 
 from __future__ import annotations
@@ -77,6 +80,24 @@ CODES: dict[str, tuple[Severity, str]] = {
               "class/module state mutated in a go/step method"),
     "RA204": (Severity.INFO,
               "module-level mutable bound to a constant-style name"),
+    # -- RA3xx: SCMD race detection ----------------------------------------
+    "RA301": (Severity.ERROR,
+              "unguarded shared write from every rank-thread"),
+    "RA302": (Severity.ERROR,
+              "reduction into a shared object outside a collective"),
+    "RA303": (Severity.WARNING,
+              "rank-guarded shared write never published by a collective"),
+    "RA304": (Severity.WARNING,
+              "patch-array write in an all-patches loop without an "
+              "owner guard"),
+    "RA305": (Severity.ERROR,
+              "collective call inside a rank-dependent branch"),
+    "RA306": (Severity.ERROR,
+              "parameter directive after go (config mutated mid-run)"),
+    "RA307": (Severity.WARNING,
+              "shared object written through multiple go-reachable "
+              "instances"),
+    "RA308": (Severity.INFO, "rank code reads a shared mutable"),
 }
 
 

@@ -12,14 +12,21 @@ AST pass flags that state without importing anything:
   rank-thread).
 * ``RA203`` — class attribute or module global *mutated* inside a
   ``go``/``run``/``step``-style method — the write races across ranks.
+  Mutation is caught in every spelling: direct assignment, subscript
+  stores, augmented assignment (``Cls.cache += ...``,
+  ``self.tallies[k] += 1`` on a class-level dict), and mutating method
+  calls (``Cls.seen.add(...)``, ``self.history.append(...)``,
+  ``__class__.cfg.update(...)``).
 * ``RA204`` — module-level mutable bound to a CONSTANT_STYLE name
   (read-only by convention; reported as info so reviewers see it).
 
 Allowlist: intentionally shared singletons — loggers, the tracing
 module, metric registries — are exempt by name
-(:data:`DEFAULT_ALLOWLIST`), and any flagged line can carry the pragma
-comment ``# scmd: shared`` to opt in deliberately (document why next to
-it).
+(:data:`DEFAULT_ALLOWLIST`), and any flagged statement can carry the
+pragma comment ``# scmd: shared`` to opt in deliberately (document why
+next to it).  The pragma matches anywhere on any line the statement
+spans (so multi-line literals and lines with trailing commentary after
+the pragma opt out too), with flexible spacing (``#scmd:shared`` works).
 """
 
 from __future__ import annotations
@@ -39,8 +46,13 @@ DEFAULT_ALLOWLIST = frozenset({
     "__all__", "__path__",
 })
 
-#: the pragma that marks a line as intentionally shared.
+#: the pragma that marks a statement as intentionally shared (canonical
+#: spelling; matching is done by :data:`_PRAGMA_RE` so spacing varies).
 PRAGMA = "# scmd: shared"
+
+#: tolerant pragma matcher: optional space after ``#`` and around the
+#: colon, and anything may follow (a why-comment on the same line).
+_PRAGMA_RE = re.compile(r"#\s*scmd\s*:\s*shared\b")
 
 #: rank-executed entry points whose writes to shared state race.
 STEP_METHODS = frozenset({
@@ -96,10 +108,45 @@ class _Ctx:
     lines: list[str]
     allowlist: frozenset[str]
 
-    def pragma(self, lineno: int) -> bool:
-        if 1 <= lineno <= len(self.lines):
-            return PRAGMA in self.lines[lineno - 1]
+    def pragma(self, node: ast.AST | int) -> bool:
+        """True when the pragma appears on *any* line the statement
+        spans — a multi-line literal can carry it on its closing brace
+        just as well as on the opening line."""
+        if isinstance(node, int):
+            first = last = node
+        else:
+            first = getattr(node, "lineno", 0)
+            last = getattr(node, "end_lineno", None) or first
+        for lineno in range(first, last + 1):
+            if 1 <= lineno <= len(self.lines) and \
+                    _PRAGMA_RE.search(self.lines[lineno - 1]):
+                return True
         return False
+
+
+def shared_bindings(tree: ast.Module) -> tuple[dict[str, int],
+                                               dict[str, dict[str, int]]]:
+    """The file's shared-object model, reused by the RA3xx race pass.
+
+    Returns ``(module_mutables, class_mutables)`` where the first maps a
+    module-level mutable binding to its line and the second maps a class
+    name to its mutable class attributes (``attr -> line``).
+    """
+    module_mutables: dict[str, int] = {}
+    for node in tree.body:
+        for name, value in _assign_names(node):
+            if value is not None and _is_mutable_value(value):
+                module_mutables.setdefault(name, node.lineno)
+    class_mutables: dict[str, dict[str, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs = class_mutables.setdefault(node.name, {})
+        for stmt in node.body:
+            for name, value in _assign_names(stmt):
+                if value is not None and _is_mutable_value(value):
+                    attrs.setdefault(name, stmt.lineno)
+    return module_mutables, class_mutables
 
 
 def analyze_source(text: str, path: str = "<source>",
@@ -113,15 +160,15 @@ def analyze_source(text: str, path: str = "<source>",
                         path=path, line=exc.lineno)]
     ctx = _Ctx(path=path, lines=text.splitlines(), allowlist=allowlist)
     out: list[Finding] = []
-    module_mutables: set[str] = set()
+    module_mutables_map, class_mutables = shared_bindings(tree)
+    module_mutables = set(module_mutables_map)
 
     # -- pass 1: module-level and class-level bindings ----------------------
     for node in tree.body:
         for name, value in _assign_names(node):
             if value is None or not _is_mutable_value(value):
                 continue
-            module_mutables.add(name)
-            if name in ctx.allowlist or ctx.pragma(node.lineno):
+            if name in ctx.allowlist or ctx.pragma(node):
                 continue
             if _CONSTANT_NAME.match(name):
                 out.append(finding(
@@ -138,16 +185,15 @@ def analyze_source(text: str, path: str = "<source>",
                     f"it CONSTANT_STYLE, or mark it '{PRAGMA}'",
                     path=path, line=node.lineno, context=name))
 
-    class_names: set[str] = set()
+    class_names: set[str] = set(class_mutables)
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
             continue
-        class_names.add(node.name)
         for stmt in node.body:
             for name, value in _assign_names(stmt):
                 if value is None or not _is_mutable_value(value):
                     continue
-                if name in ctx.allowlist or ctx.pragma(stmt.lineno):
+                if name in ctx.allowlist or ctx.pragma(stmt):
                     continue
                 out.append(finding(
                     "RA202",
@@ -167,26 +213,45 @@ def analyze_source(text: str, path: str = "<source>",
                 continue
             if method.name not in STEP_METHODS:
                 continue
-            out.extend(_scan_method(ctx, node.name, method,
-                                    module_mutables, class_names))
+            out.extend(_scan_method(
+                ctx, node.name, method, module_mutables, class_names,
+                class_mutables.get(node.name, {})))
     return out
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
 
 
 def _scan_method(ctx: _Ctx, class_name: str, method: ast.FunctionDef,
                  module_mutables: set[str],
-                 class_names: set[str]) -> list[Finding]:
+                 class_names: set[str],
+                 own_mutables: dict[str, int] | None = None,
+                 ) -> list[Finding]:
     out: list[Finding] = []
     globals_declared: set[str] = set()
+    own_mutables = own_mutables or {}
+    # ``self.attr = ...`` plain stores shadow the class attribute with an
+    # instance attribute — after one, later ``self.attr`` uses are private.
+    shadowed: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Attribute) and _is_self(t.value):
+                    shadowed.add(t.attr)
 
-    def flag(lineno: int, what: str, target: str) -> None:
-        if ctx.pragma(lineno) or target in ctx.allowlist:
+    def flag(node: ast.AST, what: str, target: str) -> None:
+        if ctx.pragma(node) or target in ctx.allowlist:
             return
         out.append(finding(
             "RA203",
             f"{class_name}.{method.name} {what} — rank-threads share "
             f"this object in SCMD mode; move it to instance state or "
             f"mark it '{PRAGMA}'",
-            path=ctx.path, line=lineno, context=class_name))
+            path=ctx.path, line=node.lineno, context=class_name))
+
+    def is_class_shared_self_attr(attr: str) -> bool:
+        return attr in own_mutables and attr not in shadowed
 
     for node in ast.walk(method):
         if isinstance(node, ast.Global):
@@ -201,43 +266,78 @@ def _scan_method(ctx: _Ctx, class_name: str, method: ast.FunctionDef,
             if isinstance(t, ast.Attribute):
                 base = t.value
                 if isinstance(base, ast.Name) and base.id in class_names:
-                    flag(node.lineno,
+                    flag(node,
                          f"assigns class attribute {base.id}.{t.attr}",
                          t.attr)
                 elif isinstance(base, ast.Attribute) and \
                         base.attr == "__class__":
-                    flag(node.lineno,
+                    flag(node,
                          f"assigns class attribute via __class__.{t.attr}",
                          t.attr)
+                elif isinstance(node, ast.AugAssign) and \
+                        _is_self(base) and \
+                        is_class_shared_self_attr(t.attr):
+                    # self.attr += ... mutates the shared class-level
+                    # container in place (no instance shadow is created
+                    # for lists/arrays; dict += is a TypeError anyway)
+                    flag(node,
+                         f"augments self.{t.attr} — a class-level "
+                         f"mutable of {class_name}", t.attr)
             elif isinstance(t, ast.Name) and t.id in globals_declared:
-                flag(node.lineno, f"rebinds module global {t.id!r}", t.id)
+                flag(node, f"rebinds module global {t.id!r}", t.id)
             elif isinstance(t, ast.Subscript):
                 base = t.value
                 if isinstance(base, ast.Name) and \
                         base.id in module_mutables:
-                    flag(node.lineno,
+                    flag(node,
                          f"writes into module-level {base.id!r}", base.id)
                 elif isinstance(base, ast.Attribute):
                     owner = base.value
                     if isinstance(owner, ast.Name) and \
                             owner.id in class_names:
-                        flag(node.lineno,
+                        flag(node,
                              f"writes into class attribute "
                              f"{owner.id}.{base.attr}", base.attr)
                     elif isinstance(owner, ast.Attribute) and \
                             owner.attr == "__class__":
-                        flag(node.lineno,
+                        flag(node,
                              f"writes into class attribute via "
                              f"__class__.{base.attr}", base.attr)
-        # _CACHE.append(...) style mutation of module-level containers
+                    elif _is_self(owner) and \
+                            is_class_shared_self_attr(base.attr):
+                        flag(node,
+                             f"writes into self.{base.attr} — a "
+                             f"class-level mutable of {class_name}",
+                             base.attr)
+        # mutating-method calls on shared containers, in every spelling:
+        # _CACHE.append(...), Cls.seen.add(...), __class__.cfg.update(...),
+        # self.history.append(...) when ``history`` is a class-level mutable
         if isinstance(node, ast.Call) and \
                 isinstance(node.func, ast.Attribute) and \
-                node.func.attr in _MUTATING_METHODS and \
-                isinstance(node.func.value, ast.Name) and \
-                node.func.value.id in module_mutables:
-            flag(node.lineno,
-                 f"calls {node.func.value.id}.{node.func.attr}() on "
-                 f"module-level state", node.func.value.id)
+                node.func.attr in _MUTATING_METHODS:
+            recv = node.func.value
+            meth = node.func.attr
+            if isinstance(recv, ast.Name) and recv.id in module_mutables:
+                flag(node,
+                     f"calls {recv.id}.{meth}() on module-level state",
+                     recv.id)
+            elif isinstance(recv, ast.Attribute):
+                owner = recv.value
+                if isinstance(owner, ast.Name) and owner.id in class_names:
+                    flag(node,
+                         f"calls {owner.id}.{recv.attr}.{meth}() on a "
+                         f"class-level mutable", recv.attr)
+                elif isinstance(owner, ast.Attribute) and \
+                        owner.attr == "__class__":
+                    flag(node,
+                         f"calls __class__.{recv.attr}.{meth}() on a "
+                         f"class-level mutable", recv.attr)
+                elif _is_self(owner) and \
+                        is_class_shared_self_attr(recv.attr):
+                    flag(node,
+                         f"calls self.{recv.attr}.{meth}() on a "
+                         f"class-level mutable of {class_name}",
+                         recv.attr)
     return out
 
 

@@ -14,6 +14,7 @@ from repro.cca.component import Component
 from repro.cca.port import Port
 from repro.cca.services import Services
 from repro.errors import CCAError, PortTypeError
+from repro.mpi import sanitizer as _tsan
 from repro.obs import trace as _trace
 from repro.util.logging import get_logger
 
@@ -82,6 +83,11 @@ class Framework:
         if instance_name in self._components:
             raise CCAError(f"instance name {instance_name!r} already used")
         cls = self.registry.get(class_name)
+        # While the race sanitizer is armed, shadow the class's mutable
+        # class attributes (the RA202 shared-object model) so rank-thread
+        # writes are clock-checked — the disabled cost is this flag check.
+        if _tsan.on:
+            _tsan.instrument_class(cls)
         component = cls()
         services = Services(self, instance_name)
         component.set_services(services)

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Any
 from repro.cca.port import Port
 from repro.cca.portproxy import TracingPortProxy
 from repro.errors import CCAError, PortNotConnectedError, PortTypeError
+from repro.mpi import sanitizer as _tsan
 from repro.obs import trace as _trace
 from repro.resilience import faults as _faults
 from repro.util.options import Options
@@ -82,6 +83,11 @@ class Services:
         # targets — the disabled cost is this flag check.
         if _faults.on and _faults.wraps_label(label):
             port = _faults.FaultPortProxy(port, label)
+        # While the race sanitizer is armed, record calls against the
+        # provider port's identity (catches instances shared across
+        # rank-threads) — the disabled cost is this flag check.
+        if _tsan.on and not isinstance(port, _tsan.SanitizerPortProxy):
+            port = _tsan.SanitizerPortProxy(port, label)
         # While tracing is on, hand out a span-emitting proxy labelled by
         # the *providing* side — the disabled cost is this flag check.
         if _trace.on and not isinstance(port, TracingPortProxy):

@@ -38,6 +38,13 @@ class CommAbortedError(MPIError):
     """The parallel world was aborted (by ``Comm.abort`` or a peer crash)."""
 
 
+class DataRaceError(MPIError):
+    """The runtime sanitizer (:mod:`repro.mpi.sanitizer`) observed two
+    rank-threads accessing one shared object with no happens-before edge;
+    the message carries both stacks, both ranks, and each rank's last
+    ordering collective."""
+
+
 class MeshError(ReproError):
     """Errors from the SAMR substrate (bad boxes, nesting violations...)."""
 

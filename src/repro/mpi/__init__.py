@@ -15,8 +15,12 @@ that execution model inside a single Python process:
   single core emulate the 48-node CPlant runs of the paper's §5.2 while the
   actual message traffic (ghost exchanges, reductions) is genuinely
   exercised.
+* :mod:`repro.mpi.sanitizer` — a vector-clock race detector for the
+  rank-threads' shared address space, armed via ``REPRO_TSAN=1``
+  (flag-check-only cost when off).
 """
 
+from repro.mpi import sanitizer
 from repro.mpi.perfmodel import MachineModel, CPLANT, BEOWULF, LOCALHOST, ZERO_COST
 from repro.mpi.comm import Comm, World, Op, Status, Request, ANY_SOURCE, ANY_TAG
 from repro.mpi.launcher import mpirun
@@ -35,4 +39,5 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "mpirun",
+    "sanitizer",
 ]

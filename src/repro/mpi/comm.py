@@ -40,6 +40,7 @@ from repro.errors import CommAbortedError, MPIError
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_registry as _obs_registry
+from repro.mpi import sanitizer as _tsan
 from repro.resilience import faults as _faults
 
 ANY_SOURCE = -1
@@ -109,6 +110,8 @@ class _Message:
     nbytes: int
     avail_time: float
     serial: int
+    #: sender's vector-clock snapshot while the sanitizer is armed
+    vc: list[int] | None = None
 
 
 class _RankState:
@@ -302,8 +305,11 @@ class Comm:
                 self._state.clock += machine.send_overhead(nbytes)
                 return
             avail += fate
+        # While the sanitizer is armed, the sender's vector-clock snapshot
+        # rides the message — the disabled cost is this flag check.
+        vc = _tsan.on_send(self.global_rank) if _tsan.on else None
         msg = _Message(self.rank, tag, payload, nbytes, avail,
-                       self.world.next_serial())
+                       self.world.next_serial(), vc)
         self._state.clock += machine.send_overhead(nbytes)
         box, cond = self.world.box(self.id, dest)
         with cond:
@@ -331,6 +337,8 @@ class Comm:
                     break
                 cond.wait(timeout=_POLL_INTERVAL)
         self._state.clock = max(self._state.clock, msg.avail_time)
+        if _tsan.on:
+            _tsan.on_recv(self.global_rank, msg.vc, msg.source)
         if _obs.on:
             _obs.complete("mpi.recv", "mpi", t0, source=msg.source,
                           tag=msg.tag, nbytes=msg.nbytes,
@@ -403,6 +411,10 @@ class Comm:
             if self.rank in slot.entries:
                 raise MPIError("collective re-entered by the same rank")
             slot.entries[self.rank] = (contribution, self._state.clock)
+            # Same critical section as the contribution insert: every
+            # rank's clock is on the slot before done flips.
+            if _tsan.on:
+                _tsan.coll_arrive(slot, self.global_rank)
             if len(slot.entries) == slot.size:
                 contribs = {r: p for r, (p, _) in slot.entries.items()}
                 entry_max = max(c for _, c in slot.entries.values())
@@ -419,6 +431,8 @@ class Comm:
             if slot.read == slot.size:
                 self.world.drop_slot(self.id, self._coll_seq)
         self._state.clock = max(self._state.clock, slot.exit_clock)
+        if _tsan.on:
+            _tsan.coll_depart(slot, self.global_rank, label)
         if _obs.on:
             _obs.complete(f"mpi.{label}", "mpi", t0, size=self.size,
                           vt=self._state.clock)

@@ -20,6 +20,7 @@ import traceback
 from typing import Any, Callable, Sequence
 
 from repro.errors import CommAbortedError, MPIError
+from repro.mpi import sanitizer as _tsan
 from repro.mpi.comm import Comm, World
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
 from repro.obs import trace as _trace
@@ -88,19 +89,28 @@ def mpirun(
                 world.abort(
                     f"rank {rank} raised {type(exc).__name__}: {exc}")
 
-    if nprocs == 1:
-        # Fast path: run inline (no thread) — keeps unit tests cheap and
-        # tracebacks direct.
-        runner(0)
-    else:
-        threads = [
-            threading.Thread(target=runner, args=(rank,), name=f"rank-{rank}")
-            for rank in range(nprocs)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+    # While the sanitizer is armed, give this world fresh vector clocks
+    # and a fresh shadow table — the disabled cost is one flag check.
+    if _tsan.on:
+        _tsan.world_begin(nprocs)
+    try:
+        if nprocs == 1:
+            # Fast path: run inline (no thread) — keeps unit tests cheap
+            # and tracebacks direct.
+            runner(0)
+        else:
+            threads = [
+                threading.Thread(target=runner, args=(rank,),
+                                 name=f"rank-{rank}")
+                for rank in range(nprocs)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+    finally:
+        if _tsan.on:
+            _tsan.world_end()
 
     if failures:
         # Report only primary failures when present; a world-abort cascade

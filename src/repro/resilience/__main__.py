@@ -5,8 +5,10 @@
     (:mod:`repro.resilience.runner`): periodic checkpoints come from the
     script's driver parameters, failures trigger restart-from-checkpoint
     with bounded retries.  ``--fault`` arms the deterministic fault
-    injector for chaos drills.  Exit 0 when the run (eventually)
-    succeeds, 1 when retries are exhausted, 2 on usage errors.
+    injector for chaos drills; ``--tsan`` arms the runtime race
+    sanitizer (:mod:`repro.mpi.sanitizer`).  Exit 0 when the run
+    (eventually) succeeds, 1 when retries are exhausted, 2 on usage
+    errors.
 
 ``inspect <prefix>``
     List the application checkpoints under an artifact prefix and their
@@ -78,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="arm fault injection: key=value[,key=value...] "
                           "over FaultPlan fields, e.g. "
                           "kill_rank=1,kill_step=3,seed=7")
+    run.add_argument("--tsan", action="store_true",
+                     help="arm the runtime race sanitizer "
+                          "(repro.mpi.sanitizer) for the supervised run "
+                          "— unsynchronized shared writes across "
+                          "rank-threads raise DataRaceError")
     run.add_argument("--metrics", metavar="FILE", default="",
                      help="write the run report (attempts, restarts, "
                           "injected fault counts) as JSON")
@@ -104,6 +111,9 @@ def _cmd_run(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.tsan:
+        from repro.mpi import sanitizer
+        sanitizer.configure()
     from repro.analysis.wiring import default_classes
     try:
         # supervise() records injected-fault counts into the report while
@@ -117,6 +127,9 @@ def _cmd_run(args) -> int:
     finally:
         if args.fault:
             faults.deactivate()
+        if args.tsan:
+            from repro.mpi import sanitizer
+            sanitizer.deactivate()
     if args.metrics:
         # Schema-1 envelope (repro.obs.export) + the legacy report keys
         # at top level: obs-metrics consumers read "metrics", existing

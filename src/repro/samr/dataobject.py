@@ -15,6 +15,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.errors import MeshError
+from repro.mpi import sanitizer as _tsan
 from repro.samr.hierarchy import Hierarchy
 from repro.samr.patch import Patch
 
@@ -86,7 +87,16 @@ class DataObject:
         """Full ghosted array, shape ``(nvar, *ghost_shape)``."""
         pid = patch if isinstance(patch, int) else patch.id
         try:
-            return self._data[pid]
+            arr = self._data[pid]
+            # While the race sanitizer is armed, record the access keyed
+            # by the backing buffer: per-rank DataObjects never collide,
+            # one leaked across rank-threads does.  Disabled cost: this
+            # flag check.
+            if _tsan.on:
+                _tsan.record_write(
+                    f"patch array {self.name}[{pid}] "
+                    f"buffer 0x{id(arr):x}")
+            return arr
         except KeyError:
             raise MeshError(
                 f"rank {self.rank} holds no data for patch {pid} "

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import MeshError
+from repro.mpi import sanitizer as _tsan
 from repro.samr.box import Box
 from repro.samr.boxlist import intersect_all, is_disjoint
 from repro.samr.level import Level
@@ -73,6 +74,11 @@ class Hierarchy:
 
     # -- identity / geometry --------------------------------------------------
     def new_patch_id(self) -> int:
+        # Patch metadata is replicated per rank in SCMD mode; a hierarchy
+        # shared across rank-threads would race on this allocator, so the
+        # armed sanitizer clock-checks it (disabled cost: one flag check).
+        if _tsan.on:
+            _tsan.record_write(f"Hierarchy patch-id allocator 0x{id(self):x}")
         pid = self._next_patch_id
         self._next_patch_id += 1
         return pid

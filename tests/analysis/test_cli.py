@@ -69,3 +69,41 @@ def test_min_severity_filters_text(capsys):
 
 def test_default_surface_is_clean(capsys):
     assert main([]) == 0
+
+
+# --------------------------------------------------------------- --races
+def test_races_flag_gates_seeded_fixture(capsys):
+    target = str(FIXTURES / "seeded_race.py")
+    assert main(["--races", target]) == 1
+    out = capsys.readouterr().out
+    assert "RA301" in out
+    # without --races only the RA2xx warnings remain: the default gate
+    # passes and the RA3xx codes must not appear
+    assert main([target]) == 0
+    assert "RA301" not in capsys.readouterr().out
+
+
+def test_races_json_format(capsys):
+    assert main(["--races", "--format", "json",
+                 str(FIXTURES / "seeded_race.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["error"] >= 1
+    assert any(f["code"] == "RA301" for f in doc["findings"])
+
+
+def test_races_default_surface_is_clean(capsys):
+    assert main(["--races", "--strict"]) == 0
+
+
+def test_races_unresolvable_target_exits_2(capsys):
+    assert main(["--races", "no/such/thing.rc"]) == 2
+    assert "cannot resolve target" in capsys.readouterr().err
+
+
+def test_clean_target_exits_0_in_both_formats(capsys):
+    target = str(REPO / "examples")
+    assert main(["--races", target]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+    assert main(["--races", "--format", "json", target]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["error"] == 0

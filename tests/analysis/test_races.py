@@ -1,0 +1,296 @@
+"""Static SCMD race pass: RA301–RA308, happens-before approximation."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.findings import Severity
+from repro.analysis.races import (
+    analyze_file_races,
+    analyze_script_races,
+    analyze_source_races,
+)
+from repro.cca.component import Component
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint(code, **kw):
+    return analyze_source_races(textwrap.dedent(code), "<test>", **kw)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ------------------------------------------------------------ RA301 / RA302
+def test_unguarded_shared_write_ra301():
+    (f,) = lint("""\
+        class C:
+            cfg = {}
+            def go(self):
+                C.cfg['x'] = 1
+        """)
+    assert f.code == "RA301"
+    assert f.severity is Severity.ERROR
+    assert "every rank-thread" in f.message
+
+
+def test_unguarded_module_global_write_ra301():
+    (f,) = lint("""\
+        state = {}
+        class C:
+            def go(self):
+                state['x'] = 1
+        """)
+    assert f.code == "RA301"
+
+
+def test_accumulation_into_shared_ra302():
+    (f,) = lint("""\
+        class C:
+            seen = []
+            def go(self, x):
+                C.seen.append(x)
+        """)
+    assert f.code == "RA302"
+    assert f.severity is Severity.ERROR
+    assert "allreduce" in f.message
+
+
+def test_augassign_via_global_ra302():
+    (f,) = lint("""\
+        totals = []
+        class C:
+            def go(self, x):
+                global totals
+                totals += [x]
+        """)
+    assert f.code == "RA302"
+
+
+def test_non_step_methods_are_not_rank_code():
+    assert lint("""\
+        class C:
+            cfg = {}
+            def configure(self):
+                C.cfg['x'] = 1
+        """) == []
+
+
+def test_instance_state_is_fine():
+    assert lint("""\
+        class C:
+            def go(self):
+                self.cache = {}
+                self.cache['x'] = 1
+        """) == []
+
+
+# ------------------------------------------------------------------- RA303
+def test_guarded_write_without_publish_ra303():
+    (f,) = lint("""\
+        class C:
+            cfg = {}
+            def go(self, comm):
+                if comm.rank == 0:
+                    C.cfg['x'] = 1
+        """)
+    assert f.code == "RA303"
+    assert f.severity is Severity.WARNING
+    assert "stale" in f.message
+
+
+def test_guarded_write_published_by_collective_is_clean():
+    assert lint("""\
+        class C:
+            cfg = {}
+            def go(self, comm):
+                if comm.rank == 0:
+                    C.cfg['x'] = 1
+                comm.barrier()
+        """) == []
+
+
+def test_publish_via_bcast_result_is_clean():
+    assert lint("""\
+        class C:
+            cfg = {}
+            def go(self, comm):
+                if comm.rank == 0:
+                    C.cfg['x'] = 1
+                value = comm.bcast(C.cfg, root=0)
+        """) == []
+
+
+# ------------------------------------------------------------------- RA304
+def test_patch_write_over_all_patches_ra304():
+    (f,) = lint("""\
+        class S:
+            def go(self, dobj, hier):
+                for p in hier.patches:
+                    dobj.array(p)[:] = 0.0
+        """)
+    assert f.code == "RA304"
+    assert f.severity is Severity.WARNING
+    assert "owned_patches" in f.message
+
+
+def test_owned_patches_loop_is_clean():
+    assert lint("""\
+        class S:
+            def go(self, dobj, hier, rank):
+                for p in hier.owned_patches(rank):
+                    dobj.array(p)[:] = 0.0
+        """) == []
+
+
+def test_owner_guard_inside_all_patches_loop_is_clean():
+    assert lint("""\
+        class S:
+            def go(self, dobj, hier, rank):
+                for p in hier.patches:
+                    if p.owner == rank:
+                        dobj.array(p)[:] = 0.0
+        """) == []
+
+
+# ------------------------------------------------------------------- RA305
+def test_collective_in_rank_branch_ra305():
+    (f,) = lint("""\
+        class C:
+            def go(self, comm):
+                if comm.rank == 0:
+                    comm.barrier()
+        """)
+    assert f.code == "RA305"
+    assert f.severity is Severity.ERROR
+    assert "deadlock" in f.message
+
+
+def test_collective_in_else_of_rank_branch_ra305():
+    assert codes(lint("""\
+        class C:
+            def go(self, comm):
+                if comm.rank == 0:
+                    pass
+                else:
+                    comm.reduce(1)
+        """)) == ["RA305"]
+
+
+def test_uniform_collective_is_clean():
+    assert lint("""\
+        class C:
+            def go(self, comm):
+                comm.barrier()
+                total = comm.allreduce(1)
+        """) == []
+
+
+# ------------------------------------------------------------------- RA308
+def test_shared_read_note_ra308():
+    (f,) = lint("""\
+        table = {'a': 1}
+        class C:
+            def go(self):
+                return table['a']
+        """)
+    assert f.code == "RA308"
+    assert f.severity is Severity.INFO
+
+
+def test_constant_style_read_is_not_noted():
+    assert lint("""\
+        TABLE = {'a': 1}
+        class C:
+            def go(self):
+                return TABLE['a']
+        """) == []
+
+
+# --------------------------------------------------- pragma and allowlist
+def test_pragma_suppresses_race_findings():
+    assert lint("""\
+        class C:
+            cfg = {}
+            def go(self):
+                C.cfg['x'] = 1  # scmd: shared
+        """) == []
+
+
+def test_allowlist_suppresses_race_findings():
+    # "_log" is in the default SCMD allowlist
+    assert lint("""\
+        class C:
+            _log = {}
+            def go(self):
+                C._log['x'] = 1
+        """) == []
+
+
+# --------------------------------------------------------- rc-script layer
+def test_parameter_after_go_ra306():
+    findings = analyze_script_races(
+        "instantiate Driver d\ngo d\nparameter d dt 0.1\n", classes=[])
+    assert codes(findings) == ["RA306"]
+    assert findings[0].severity is Severity.ERROR
+    assert findings[0].line == 3
+
+
+def test_parameter_before_go_is_clean():
+    assert analyze_script_races(
+        "instantiate Driver d\nparameter d dt 0.1\ngo d\n",
+        classes=[]) == []
+
+
+class TallyWriter(Component):
+    """Test-only component whose step method writes a shared class dict."""
+
+    ledger = {}
+
+    def go(self):
+        TallyWriter.ledger["n"] = 1
+        return 0
+
+
+def test_two_reachable_writers_ra307():
+    script = ("instantiate TallyWriter a\n"
+              "instantiate TallyWriter b\n"
+              "go a\ngo b\n")
+    findings = analyze_script_races(script, classes=[TallyWriter])
+    assert codes(findings) == ["RA307"]
+    f = findings[0]
+    assert f.severity is Severity.WARNING
+    assert "TallyWriter.ledger" in f.message
+    assert "a, b" in f.message
+
+
+def test_single_writer_is_clean():
+    script = "instantiate TallyWriter a\ngo a\n"
+    assert analyze_script_races(script, classes=[TallyWriter]) == []
+
+
+def test_unreachable_second_writer_is_clean():
+    # b is instantiated but never wired to / run from a go target
+    script = ("instantiate TallyWriter a\n"
+              "instantiate TallyWriter b\n"
+              "go a\n")
+    assert analyze_script_races(script, classes=[TallyWriter]) == []
+
+
+def test_writer_reachable_through_connect_edge_ra307():
+    script = ("instantiate TallyWriter drv\n"
+              "instantiate TallyWriter leaf\n"
+              "connect drv out leaf in\n"
+              "go drv\n")
+    findings = analyze_script_races(script, classes=[TallyWriter])
+    assert codes(findings) == ["RA307"]
+
+
+# ------------------------------------------------------ the seeded fixture
+def test_seeded_race_fixture_is_caught_statically():
+    findings = analyze_file_races(str(FIXTURES / "seeded_race.py"))
+    assert "RA301" in codes(findings)
+    (f,) = [f for f in findings if f.code == "RA301"]
+    assert "tallies" in f.message
+    assert f.context == "RacyTally"

@@ -105,6 +105,78 @@ def test_instance_state_is_fine():
         """) == []
 
 
+def test_class_level_mutating_calls_ra203():
+    findings = lint("""\
+        class C:
+            seen = set()  # scmd: shared
+            cfg = {}  # scmd: shared
+
+            def go(self):
+                C.seen.add(1)
+                self.__class__.cfg.update(a=2)
+                self.cfg.setdefault("k", 3)
+        """)
+    assert [f.code for f in findings] == ["RA203"] * 3
+
+
+def test_self_attr_mutation_of_class_mutable_ra203():
+    findings = lint("""\
+        class C:
+            tallies = {}  # scmd: shared
+            history = []  # scmd: shared
+
+            def step(self):
+                self.tallies["k"] = 1
+                self.history += [2]
+                self.history.append(3)
+        """)
+    assert [f.code for f in findings] == ["RA203"] * 3
+
+
+def test_self_attr_shadowed_by_instance_assignment_is_fine():
+    # a plain ``self.attr = ...`` anywhere in the method means the
+    # instance owns a private object — later mutations are rank-local
+    assert lint("""\
+        class C:
+            history = []  # scmd: shared
+
+            def go(self):
+                self.history = []
+                self.history.append(1)
+        """) == []
+
+
+def test_augassign_on_class_attr_ra203():
+    findings = lint("""\
+        class C:
+            total = []  # scmd: shared
+
+            def go(self):
+                C.total += [1]
+        """)
+    assert [f.code for f in findings] == ["RA203"]
+
+
+def test_pragma_matches_multiline_statement():
+    assert lint("""\
+        table = {
+            "a": 1,
+        }  # scmd: shared
+        """) == []
+    assert lint("""\
+        table = {  # scmd: shared — config replicated read-only
+            "a": 1,
+        }
+        """) == []
+
+
+def test_pragma_tolerates_spacing_and_trailing_comments():
+    assert lint("shared = {}  #scmd:shared\n") == []
+    assert lint("shared = {}  # scmd : shared (why: singleton)\n") == []
+    # but unrelated comments do not opt out
+    assert codes(lint("shared = {}  # some note\n")) == {"RA201"}
+
+
 def test_bad_scmd_fixture_covers_the_codes():
     findings = analyze_file(str(FIXTURES / "bad_scmd.py"))
     assert {"RA201", "RA202", "RA203", "RA204"} == codes(findings)

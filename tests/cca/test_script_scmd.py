@@ -186,3 +186,48 @@ def test_scmd_clocks_returned():
     (value, clock), = results
     assert value == 42
     assert clock >= 0.0
+
+
+def test_parse_script_tolerant_every_verb_error_shape():
+    from repro.cca.script import parse_script_tolerant
+
+    text = ("repository get Foo\n"          # repository wants get-global
+            "instantiate OnlyClass\n"       # missing instance name
+            "create A b c\n"                # create: too many args
+            "connect u port p\n"            # connect wants 4 args
+            "parameter inst key\n"          # parameter wants a value
+            "go a b c\n"                    # go takes at most 2 args
+            "teleport x\n")                 # unknown directive
+    directives, errors = parse_script_tolerant(text)
+    assert directives == []
+    assert [line_no for line_no, _msg in errors] == [1, 2, 3, 4, 5, 6, 7]
+    messages = "\n".join(msg for _line_no, msg in errors)
+    assert "get-global" in messages
+    assert "unknown directive 'teleport'" in messages
+
+
+def test_parse_script_tolerant_keeps_going_between_errors():
+    from repro.cca.script import parse_script_tolerant
+
+    text = ("! ccaffeine banner line\n"
+            "instantiate Echo e   # trailing comment\n"
+            "bogus\n"
+            "\n"
+            "parameter e payload 42\n"
+            "nope again\n"
+            "go e\n")
+    directives, errors = parse_script_tolerant(text)
+    assert [(d.verb, d.line_no) for d in directives] == [
+        ("instantiate", 2), ("parameter", 5), ("go", 7)]
+    assert [line_no for line_no, _msg in errors] == [3, 6]
+    # every accumulated message is independently actionable
+    assert all(f"line {n}" in msg for n, msg in errors)
+
+
+def test_parse_script_tolerant_normalizes_create_to_instantiate():
+    from repro.cca.script import parse_script_tolerant
+
+    directives, errors = parse_script_tolerant("create Echo e\n")
+    assert errors == []
+    (d,) = directives
+    assert d.verb == "instantiate" and d.args == ("Echo", "e")

@@ -1,0 +1,245 @@
+"""Runtime race sanitizer: clocks, shadow state, end-to-end detection."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.cca.scmd import run_scmd
+from repro.errors import DataRaceError
+from repro.mpi import mpirun, sanitizer
+from repro.mpi.launcher import RankFailure
+from repro.util import logging as rlog
+
+FIXTURE = (pathlib.Path(__file__).resolve().parents[1]
+           / "analysis" / "fixtures" / "seeded_race.py")
+
+
+@pytest.fixture
+def armed():
+    # restore, don't blindly disarm: the CI race-sanitize job runs the
+    # whole suite under REPRO_TSAN=1
+    was = sanitizer.on
+    sanitizer.configure()
+    yield
+    if not was:
+        sanitizer.deactivate()
+
+
+@pytest.fixture
+def world2(armed):
+    sanitizer.world_begin(2)
+    yield
+    sanitizer.world_end()
+
+
+def test_off_by_default_outside_env():
+    # whatever the env chose, hooks are no-ops without a world
+    assert sanitizer.active() is False or sanitizer._state is not None
+    sanitizer.record_write("orphan")  # no world: must not raise
+
+
+def test_disabled_hooks_are_noops():
+    was = sanitizer.on
+    sanitizer.deactivate()
+    try:
+        assert sanitizer.on_send(0) is None
+        sanitizer.on_recv(0, [1, 2], source=1)
+        sanitizer.record_write("k", rank=0)
+        assert sanitizer.active() is False
+        assert sanitizer.last_sync_of(0) == "<no world>"
+    finally:
+        if was:
+            sanitizer.configure()
+
+
+# ------------------------------------------------------------ clock algebra
+def test_unordered_cross_rank_writes_raise(world2):
+    sanitizer.record_write("obj", rank=0)
+    with pytest.raises(DataRaceError) as excinfo:
+        sanitizer.record_write("obj", rank=1)
+    msg = str(excinfo.value)
+    assert "data race on obj" in msg
+    assert "rank 1" in msg and "rank 0" in msg
+    assert "<program start>" in msg  # last-sync labels in the report
+
+
+def test_same_rank_rewrites_are_program_ordered(world2):
+    sanitizer.record_write("obj", rank=0)
+    sanitizer.record_write("obj", rank=0)  # no raise
+
+
+def test_distinct_objects_never_conflict(world2):
+    sanitizer.record_write("a", rank=0)
+    sanitizer.record_write("b", rank=1)  # no raise
+
+
+def test_message_edge_orders_writes(world2):
+    sanitizer.record_write("obj", rank=0)
+    vc = sanitizer.on_send(0)
+    sanitizer.on_recv(1, vc, source=0)
+    sanitizer.record_write("obj", rank=1)  # happens-after: no raise
+    assert sanitizer.last_sync_of(1) == "recv from rank 0"
+
+
+def test_send_is_a_release_point(world2):
+    # a write *after* the send sits in a fresh epoch the receiver has
+    # not observed — still a race
+    vc = sanitizer.on_send(0)
+    sanitizer.on_recv(1, vc, source=0)
+    sanitizer.record_write("obj", rank=0)
+    with pytest.raises(DataRaceError):
+        sanitizer.record_write("obj", rank=1)
+
+
+def test_one_way_message_does_not_order_the_reverse(world2):
+    sanitizer.record_write("obj", rank=1)
+    vc = sanitizer.on_send(0)
+    sanitizer.on_recv(1, vc, source=0)
+    # rank 1 -> rank 0 has no edge; rank 0's write still races
+    with pytest.raises(DataRaceError):
+        sanitizer.record_write("obj", rank=0)
+
+
+class _Slot:
+    pass
+
+
+def _full_collective(*ranks, label="barrier"):
+    slot = _Slot()
+    for r in ranks:
+        sanitizer.coll_arrive(slot, r)
+    for r in ranks:
+        sanitizer.coll_depart(slot, r, label)
+    return slot
+
+
+def test_collective_is_a_full_sync(world2):
+    sanitizer.record_write("obj", rank=0)
+    _full_collective(0, 1)
+    sanitizer.record_write("obj", rank=1)  # ordered: no raise
+    assert sanitizer.last_sync_of(1) == "collective barrier"
+
+
+def test_writes_between_same_collectives_still_race(world2):
+    _full_collective(0, 1)
+    sanitizer.record_write("obj", rank=0)
+    with pytest.raises(DataRaceError) as excinfo:
+        sanitizer.record_write("obj", rank=1)
+    assert "collective barrier" in str(excinfo.value)
+
+
+# --------------------------------------------------------- shadow containers
+def test_shadow_dict_records_rank_writes(world2):
+    d = sanitizer.ShadowDict({}, key="K")
+    with rlog.rank_context(0):
+        d["a"] = 1
+    with rlog.rank_context(1):
+        with pytest.raises(DataRaceError) as excinfo:
+            d["a"] = 2
+    assert "data race on K" in str(excinfo.value)
+    assert d == {"a": 1}  # the racy store never landed
+
+
+def test_shadow_writes_outside_rank_context_are_ignored(world2):
+    d = sanitizer.ShadowDict({}, key="K")
+    d["serial"] = 1  # untagged thread: not rank code
+    assert d == {"serial": 1}
+
+
+def test_shadow_list_and_set_mutators(world2):
+    lst = sanitizer.ShadowList([1], key="L")
+    s = sanitizer.ShadowSet(set(), key="S")
+    with rlog.rank_context(0):
+        lst.append(2)
+        s.add("x")
+    with rlog.rank_context(1):
+        with pytest.raises(DataRaceError):
+            lst.extend([3])
+        with pytest.raises(DataRaceError):
+            s.discard("x")
+    assert lst == [1, 2]
+    assert s == {"x"}
+
+
+def test_instrument_class_swaps_and_is_idempotent(armed):
+    class K:
+        data = {"a": 1}
+        items = [1, 2]
+        tags = {"x"}
+        version = 3
+        name = "k"
+
+    sanitizer.instrument_class(K)
+    assert isinstance(K.data, sanitizer.ShadowDict)
+    assert isinstance(K.items, sanitizer.ShadowList)
+    assert isinstance(K.tags, sanitizer.ShadowSet)
+    assert K.data == {"a": 1} and K.items == [1, 2] and K.tags == {"x"}
+    assert K.version == 3 and K.name == "k"
+    first = K.data
+    sanitizer.instrument_class(K)
+    assert K.data is first  # shadow types are not re-wrapped
+
+
+# ----------------------------------------------------------- end-to-end SCMD
+def _load_seeded_fixture():
+    spec = importlib.util.spec_from_file_location("seeded_race_fixture",
+                                                  FIXTURE)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_seeded_race_detected_in_4rank_scmd(armed):
+    mod = _load_seeded_fixture()
+
+    def build(framework):
+        framework.instantiate("RacyTally", "t")
+        return framework.go("t", "go")
+
+    with pytest.raises(RankFailure) as excinfo:
+        run_scmd(4, build, classes=[mod.RacyTally])
+    msg = str(excinfo.value)
+    assert "DataRaceError" in msg
+    assert "RacyTally.tallies" in msg  # object identity in the report
+    assert "no happens-before edge" in msg
+
+
+def test_armed_clean_collective_run_passes(armed):
+    def main(comm):
+        comm.barrier()
+        return comm.allreduce(comm.rank)
+
+    assert mpirun(4, main) == [6, 6, 6, 6]
+
+
+def test_armed_clean_scmd_component_passes(armed):
+    from repro.cca.component import Component
+    from repro.cca.ports import GoPort
+
+    class _Go(GoPort):
+        def __init__(self, owner):
+            self.owner = owner
+
+        def go(self):
+            return self.owner.run()
+
+    class PerRankTally(Component):
+        def set_services(self, services):
+            self.services = services
+            self.tally = {}  # instance state: one per rank, no race
+            services.add_provides_port(_Go(self), "go")
+
+        def run(self):
+            for step in range(8):
+                self.tally[step] = self.tally.get(step, 0) + 1
+            comm = self.services.get_comm()
+            if comm is not None:
+                comm.barrier()
+            return len(self.tally)
+
+    def build(framework):
+        framework.instantiate("PerRankTally", "t")
+        return framework.go("t", "go")
+
+    assert run_scmd(4, build, classes=[PerRankTally]) == [8, 8, 8, 8]
