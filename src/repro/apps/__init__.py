@@ -14,6 +14,7 @@ from repro.apps.ignition0d import (
     Ignition0DDriver,
     build_ignition0d,
     run_ignition0d,
+    run_ignition0d_batch,
 )
 from repro.apps.reaction_diffusion import (
     ReactionDiffusionDriver,
@@ -35,6 +36,7 @@ __all__ = [
     "Ignition0DDriver",
     "build_ignition0d",
     "run_ignition0d",
+    "run_ignition0d_batch",
     "ReactionDiffusionDriver",
     "build_reaction_diffusion",
     "run_reaction_diffusion",

@@ -22,6 +22,7 @@ import numpy as np
 from repro.cca.component import Component
 from repro.cca.framework import Framework
 from repro.cca.ports.go import GoPort
+from repro.errors import CCAError
 from repro.components import (
     CvodeComponent,
     DPDt,
@@ -168,3 +169,121 @@ def run_ignition0d(**kwargs) -> dict[str, Any]:
     framework = Framework()
     build_ignition0d(framework, **kwargs)
     return framework.go("Driver")
+
+
+#: Per-condition keys :func:`run_ignition0d_batch` accepts (everything
+#: else is a shared setting) — the parameter family the serve batch
+#: planner may vary inside one coalesced solve.
+BATCH_CONDITION_KEYS = ("T0", "P0", "phi", "rate_scale")
+
+
+def run_ignition0d_batch(conditions: list[dict[str, float]],
+                         mechanism: str = "h2-air", t_end: float = 1e-3,
+                         n_output: int = 20, rtol: float = 1e-8,
+                         atol: float = 1e-12,
+                         method: str = "bdf") -> list[dict[str, Any]]:
+    """Solve many 0D-ignition conditions in one batched call.
+
+    Each entry of ``conditions`` may set ``T0``, ``P0``, ``phi`` and
+    ``rate_scale`` (defaults match the component parameters:
+    1000 K, 1 atm, stoichiometric, unperturbed rates); everything else —
+    mechanism, tolerances, output grid — is shared across the batch.
+
+    Returns one result dict per condition, **bitwise identical** to what
+    :func:`run_ignition0d` / the rc-script assembly produces for the
+    same condition: the batch replays exactly the driver's arithmetic
+    (the ``Initializer`` fill, ``ProblemModeler.configure`` density, a
+    fresh CVODE per output interval via
+    :func:`repro.chemistry.zerod.advance_batch`).  That equivalence is
+    what lets :mod:`repro.serve` answer per-job requests from a
+    coalesced solve — and cache the demultiplexed results under the same
+    keys a sequential run would produce.
+    """
+    from repro.chemistry.h2_air import h2_air_phi
+    from repro.chemistry.zerod import advance_batch
+    from repro.components.thermochem import _MECHS
+
+    n_out = int(n_output)
+    nbatch = len(conditions)
+    if nbatch == 0:
+        return []
+    try:
+        base_mech = _MECHS[mechanism]()
+    except KeyError:
+        raise CCAError(
+            f"unknown mechanism {mechanism!r}; have {sorted(_MECHS)}"
+        ) from None
+    # one scaled mechanism per distinct rate perturbation in the batch
+    mechs = {1.0: base_mech}
+    rows: list[np.ndarray] = []
+    rhos: list[float] = []
+    scales: list[float] = []
+    for cond in conditions:
+        unknown = set(cond) - set(BATCH_CONDITION_KEYS)
+        if unknown:
+            raise CCAError(
+                f"unknown batch condition keys {sorted(unknown)} "
+                f"(have: {list(BATCH_CONDITION_KEYS)})")
+        T0 = float(cond.get("T0", 1000.0))
+        P0 = float(cond.get("P0", 101325.0))
+        phi = float(cond.get("phi", 1.0))
+        scale = float(cond.get("rate_scale", 1.0))
+        if scale not in mechs:
+            mechs[scale] = base_mech.scaled(scale)
+        mech = mechs[scale]
+        # the Initializer fill, operation for operation
+        Y = np.zeros(mech.n_species)
+        for nm, val in h2_air_phi(phi).items():
+            if nm in mech.names:
+                Y[mech.species_index(nm)] = val
+        Y /= Y.sum()
+        rows.append(np.concatenate(([T0], Y, [P0])))
+        # ProblemModeler.configure: rho fixed from the initial fill
+        rhos.append(float(mech.density(T0, P0, Y)))
+        scales.append(scale)
+
+    states = np.array(rows)
+    rho_arr = np.asarray(rhos, dtype=float)
+    nfe = np.zeros(nbatch, dtype=int)
+    hist_T: list[list[tuple[float, float]]] = [
+        [(0.0, float(r[0]))] for r in rows]
+    hist_P: list[list[tuple[float, float]]] = [
+        [(0.0, float(r[-1]))] for r in rows]
+    groups: dict[float, list[int]] = {}
+    for i, scale in enumerate(scales):
+        groups.setdefault(scale, []).append(i)
+
+    t = 0.0
+    for k in range(1, n_out + 1):
+        with _trace.span("driver.step", "driver", step=k, batch=nbatch):
+            t_next = t_end * k / n_out
+            for scale, idx in groups.items():
+                res = advance_batch(mechs[scale], rho_arr[idx], states[idx],
+                                    t, t_next, rtol=rtol, atol=atol,
+                                    method=method)
+                states[idx] = res.states
+                nfe[idx] += res.nfe
+            t = t_next
+            for i in range(nbatch):
+                hist_T[i].append((t, float(states[i][0])))
+                hist_P[i].append((t, float(states[i][-1])))
+
+    results: list[dict[str, Any]] = []
+    for i in range(nbatch):
+        y = states[i]
+        mech = mechs[scales[i]]
+        i_h2o = mech.species_index("H2O")
+        Y_final = y[1:-1]
+        results.append({
+            "T0": float(rows[i][0]),
+            "P0": float(rows[i][-1]),
+            "rho": rhos[i],
+            "T_final": float(y[0]),
+            "P_final": float(y[-1]),
+            "Y_final": Y_final,
+            "Y_H2O_final": float(Y_final[i_h2o]),
+            "nfe": int(nfe[i]),
+            "history_T": hist_T[i],
+            "history_P": hist_P[i],
+        })
+    return results

@@ -60,11 +60,16 @@ def _git_commit() -> str | None:
     return commit if out.returncode == 0 and commit else None
 
 
-def fingerprint() -> dict[str, Any]:
-    """The comparability stamp on every trajectory entry.  The
+def code_fingerprint() -> dict[str, Any]:
+    """The ``{host, commit, fast, python}`` stamp identifying *which
+    code on which machine* produced a result.
+
+    Shared by the bench ledgers (every trajectory entry carries one; the
     regression gate only compares runs whose ``fast`` flags match and
-    prefers same-``host`` history (cross-host timing deltas are machine
-    differences, not regressions)."""
+    prefers same-``host`` history) and by the :mod:`repro.serve` result
+    cache (identical requests are only served from cache when the code
+    fingerprint matches — a commit bump invalidates every cached run).
+    """
     from repro.util.options import fast_mode
     return {
         "host": socket.gethostname(),
@@ -72,6 +77,12 @@ def fingerprint() -> dict[str, Any]:
         "fast": fast_mode(),
         "python": platform.python_version(),
     }
+
+
+def fingerprint() -> dict[str, Any]:
+    """Alias for :func:`code_fingerprint` (the trajectory-entry field is
+    named ``fingerprint``; new callers should use the public name)."""
+    return code_fingerprint()
 
 
 def extract_metrics(payload: Mapping[str, Any],

@@ -79,14 +79,27 @@ def h2_air_mechanism() -> Mechanism:
     return Mechanism("h2-air-9sp-19rxn", species, rxns)
 
 
-def stoichiometric_h2_air() -> dict[str, float]:
-    """Stoichiometric H2-air mass fractions (2 H2 + O2 + 3.76 N2)."""
+def h2_air_phi(phi: float) -> dict[str, float]:
+    """H2-air mass fractions at equivalence ratio ``phi``
+    (``2 phi H2 + O2 + 3.76 N2``; ``phi = 1`` is stoichiometric).
+
+    The 0D-ignition :class:`~repro.components.initializers.Initializer`
+    exposes this as its ``phi`` parameter, which makes equivalence-ratio
+    sweeps a batchable one-parameter family for :mod:`repro.serve`.
+    """
+    if phi <= 0.0:
+        raise ValueError(f"equivalence ratio must be positive, got {phi}")
     from repro.chemistry.thermo_data import make_species as mk
 
     w = {nm: mk(nm).weight for nm in ("H2", "O2", "N2")}
-    moles = {"H2": 2.0, "O2": 1.0, "N2": 3.76}
+    moles = {"H2": 2.0 * phi, "O2": 1.0, "N2": 3.76}
     mass = {nm: moles[nm] * w[nm] for nm in moles}
     total = sum(mass.values())
     Y = {nm: 0.0 for nm in SPECIES_9}
     Y.update({nm: m / total for nm, m in mass.items()})
     return Y
+
+
+def stoichiometric_h2_air() -> dict[str, float]:
+    """Stoichiometric H2-air mass fractions (2 H2 + O2 + 3.76 N2)."""
+    return h2_air_phi(1.0)

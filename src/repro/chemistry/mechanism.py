@@ -82,6 +82,20 @@ class Mechanism:
             raise ChemistryError(
                 f"no species {name!r} in mechanism {self.name}") from None
 
+    def scaled(self, factor: float) -> "Mechanism":
+        """A new mechanism with every reaction's forward rate scaled by
+        ``factor`` (see :meth:`repro.chemistry.reaction.Reaction.scaled`)
+        — the uniform rate perturbation used by UQ ensembles and the
+        :mod:`repro.serve` batch planner's ``rate_scale`` condition.
+
+        ``factor == 1.0`` returns ``self`` unchanged, so the unperturbed
+        path stays bitwise identical to a mechanism built directly.
+        """
+        if float(factor) == 1.0:
+            return self
+        return Mechanism(self.name, self.species,
+                         [rxn.scaled(factor) for rxn in self.reactions])
+
     # -- mixture thermodynamics (mass basis, vectorized over cells) ----------
     def mean_weight(self, Y: np.ndarray) -> np.ndarray:
         """Mixture molecular weight [kg/mol]; ``Y`` shape (nsp, ...)."""

@@ -119,6 +119,27 @@ class Reaction:
     def has_third_body(self) -> bool:
         return self.third_body is not None
 
+    def scaled(self, factor: float) -> "Reaction":
+        """This reaction with every forward pre-exponential multiplied
+        by ``factor`` (the falloff low-pressure limit scales too, so the
+        blended rate scales uniformly across the pressure range).
+
+        Reverse rates come from equilibrium (``kr = kf / Kc``), so they
+        pick up the same factor — a uniform kinetic-rate perturbation,
+        the standard knob of UQ ensembles over a mechanism.
+        """
+        factor = float(factor)
+        if factor <= 0.0:
+            raise ChemistryError(
+                f"rate scale factor must be positive, got {factor}")
+        from dataclasses import replace
+        falloff = self.falloff
+        if falloff is not None:
+            falloff = replace(
+                falloff, low=replace(falloff.low, A=falloff.low.A * factor))
+        return replace(self, rate=replace(self.rate, A=self.rate.A * factor),
+                       falloff=falloff)
+
     def equation(self) -> str:
         """Human-readable equation string."""
 

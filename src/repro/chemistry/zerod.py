@@ -118,6 +118,94 @@ class ConstantVolumeReactor:
         return self.rho * R_UNIVERSAL * (dT * inv_W + T * dinv_W)
 
 
+def constant_volume_rhs(mech: Mechanism, rho: float):
+    """``f(t, y) -> dy/dt`` for one rigid adiabatic vessel of fixed
+    density ``rho`` over ``y = [T, Y..., P]``.
+
+    This closure performs *operation-for-operation* the same float
+    arithmetic as the assembled component path
+    (:class:`repro.components.problem_modeler.ProblemModeler`'s RHS plus
+    the ``DPDt`` closure), so a solve against it is bitwise identical to
+    a solve through the CCA assembly — the contract the
+    :mod:`repro.serve` batch planner relies on when it answers a job
+    from a coalesced solve instead of a framework run.
+    """
+    rho = float(rho)
+
+    def rhs(t: float, y: np.ndarray) -> np.ndarray:
+        T = max(float(y[0]), 50.0)
+        Y = np.clip(y[1:-1], 0.0, None)
+        C = mech.concentrations(rho, Y)
+        wdot = mech.wdot(T, C)
+        dY = wdot * mech.weights / rho
+        u = mech.u_mass_species(np.asarray(T, dtype=float))
+        cv = mech.cv_mass(T, Y)
+        dT = -float(np.dot(u, wdot * mech.weights)) / (rho * cv)
+        inv_W = float(np.dot(Y, 1.0 / mech.weights))
+        dinv_W = float(np.dot(dY, 1.0 / mech.weights))
+        dP = rho * R_UNIVERSAL * (dT * inv_W + T * dinv_W)
+        return np.concatenate(([dT], dY, [dP]))
+
+    return rhs
+
+
+class BatchAdvanceResult:
+    """States and per-condition solver statistics of one batched advance."""
+
+    __slots__ = ("states", "nfe", "nsteps")
+
+    def __init__(self, states: np.ndarray, nfe: np.ndarray,
+                 nsteps: np.ndarray) -> None:
+        self.states = states    #: (B, n_state) advanced state rows
+        self.nfe = nfe          #: (B,) RHS evaluations per condition
+        self.nsteps = nsteps    #: (B,) solver steps per condition
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+
+def advance_batch(mech: Mechanism, rhos: np.ndarray, states: np.ndarray,
+                  t0: float, t1: float, *, rtol: float = 1e-8,
+                  atol: float = 1e-12,
+                  method: str = "bdf") -> BatchAdvanceResult:
+    """Advance a batch of independent constant-volume reactors from
+    ``t0`` to ``t1`` in one call.
+
+    ``states`` has shape ``(B, n_species + 2)`` — one ``[T, Y..., P]``
+    row per condition — and ``rhos`` the matching fixed vessel
+    densities.  Every condition keeps its *own* adaptive solver
+    trajectory (a fresh CVODE per row, exactly as
+    :class:`~repro.components.cvode_component.CvodeComponent` creates a
+    fresh integrator per ``integrate`` call), so the result of each row
+    is bitwise identical to solving that condition alone; what the batch
+    amortizes is everything around the solve — one mechanism build, one
+    process, one scheduling decision for B requests.  A future
+    lockstep-vectorized Newton (ROADMAP item 1) can slot in behind this
+    signature without changing callers.
+    """
+    states = np.asarray(states, dtype=float)
+    rhos = np.asarray(rhos, dtype=float)
+    if states.ndim != 2 or states.shape[1] != mech.n_species + 2:
+        raise ChemistryError(
+            f"states must be (B, {mech.n_species + 2}), got {states.shape}")
+    if rhos.shape != (states.shape[0],):
+        raise ChemistryError(
+            f"rhos must be ({states.shape[0]},), got {rhos.shape}")
+    from repro.integrators.cvode import CVode
+
+    out = np.empty_like(states)
+    nfe = np.zeros(states.shape[0], dtype=int)
+    nsteps = np.zeros(states.shape[0], dtype=int)
+    for i in range(states.shape[0]):
+        cv = CVode(constant_volume_rhs(mech, rhos[i]), float(t0),
+                   np.asarray(states[i], dtype=float), rtol=rtol, atol=atol,
+                   method=method)
+        out[i] = cv.integrate_to(float(t1))
+        nfe[i] = cv.stats.nfe
+        nsteps[i] = cv.stats.nsteps
+    return BatchAdvanceResult(out, nfe, nsteps)
+
+
 def _pack_state(mech: Mechanism, T0: float,
                 Y0: dict[str, float] | np.ndarray) -> np.ndarray:
     if isinstance(Y0, dict):

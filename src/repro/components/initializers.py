@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.cca.component import Component
 from repro.cca.ports.ic import InitialConditionPort, VectorICPort
-from repro.chemistry.h2_air import stoichiometric_h2_air
+from repro.chemistry.h2_air import h2_air_phi, stoichiometric_h2_air
 from repro.errors import CCAError
 from repro.hydro.state import prim_to_cons
 from repro.samr.dataobject import DataObject
@@ -32,8 +32,9 @@ class _VectorIC(VectorICPort):
         mech = owner.services.get_port("chem").mechanism()
         T0 = float(owner.services.get_parameter("T0", 1000.0))
         P0 = float(owner.services.get_parameter("P0", 101325.0))
+        phi = float(owner.services.get_parameter("phi", 1.0))
         Y = np.zeros(mech.n_species)
-        for nm, val in stoichiometric_h2_air().items():
+        for nm, val in h2_air_phi(phi).items():
             if nm in mech.names:
                 Y[mech.species_index(nm)] = val
         Y /= Y.sum()
@@ -41,7 +42,11 @@ class _VectorIC(VectorICPort):
 
 
 class Initializer(Component):
-    """0D initial condition: Φ0 = [T0, Y_stoich, P0]."""
+    """0D initial condition: Φ0 = [T0, Y(phi), P0].
+
+    Parameters: ``T0`` (1000 K), ``P0`` (1 atm), ``phi`` (equivalence
+    ratio, 1.0 = the paper's stoichiometric fill).
+    """
 
     def set_services(self, services) -> None:
         self.services = services

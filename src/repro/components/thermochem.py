@@ -11,7 +11,8 @@ Provides
 ``chemistry``   ChemistryPort — the mechanism object + vectorized sources.
 ``properties``  ParameterPort — gas-property database (weights, name...).
 
-Parameters: ``mechanism`` (``h2-air`` | ``h2-lite``), ``pressure`` [Pa].
+Parameters: ``mechanism`` (``h2-air`` | ``h2-lite``), ``pressure`` [Pa],
+``rate_scale`` (uniform forward-rate perturbation factor, default 1.0).
 """
 
 from __future__ import annotations
@@ -112,12 +113,16 @@ class ThermoChemistry(Component):
     def mech(self) -> Mechanism:
         if self._mech is None:
             name = self.services.get_parameter("mechanism", "h2-air")
+            scale = float(self.services.get_parameter("rate_scale", 1.0))
             try:
-                self._mech = _MECHS[name]()
+                mech = _MECHS[name]()
             except KeyError:
                 raise CCAError(
                     f"unknown mechanism {name!r}; have {sorted(_MECHS)}"
                 ) from None
+            # rate_scale != 1 perturbs every forward rate uniformly (UQ
+            # ensembles, serve batch sweeps); scaled(1.0) is the identity
+            self._mech = mech.scaled(scale)
         return self._mech
 
     @property

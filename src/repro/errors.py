@@ -87,3 +87,8 @@ class InjectedFault(ResilienceError):
 
     Raised only while :mod:`repro.resilience.faults` is active; catching
     it in production code defeats the purpose of chaos testing."""
+
+
+class ServeError(ReproError):
+    """Errors from the simulation service (unknown job, bad request,
+    result not ready, malformed job store)."""

@@ -121,10 +121,22 @@ def export_chrome_trace(path: str,
     return path
 
 
-def metrics_payload(registry: MetricsRegistry | None = None) -> dict:
-    """JSON-ready snapshot of a registry (the default one if omitted)."""
+def metrics_payload(registry: MetricsRegistry | None = None, *,
+                    prefix: str | None = None,
+                    extra: Sequence[dict] | None = None) -> dict:
+    """JSON-ready snapshot of a registry (the default one if omitted).
+
+    ``prefix`` keeps only records whose name starts with it (a subsystem
+    view of the shared registry, e.g. ``"serve."``); ``extra`` appends
+    pre-built :func:`metric_record` records to the envelope.
+    """
     registry = registry if registry is not None else get_registry()
-    return {"schema": METRICS_SCHEMA, "metrics": registry.snapshot()}
+    records = registry.snapshot()
+    if prefix is not None:
+        records = [r for r in records if r["name"].startswith(prefix)]
+    if extra:
+        records = records + list(extra)
+    return {"schema": METRICS_SCHEMA, "metrics": records}
 
 
 def metric_record(name: str, kind: str, value: float | None = None,
@@ -160,10 +172,12 @@ def _ensure_parent(path: str) -> None:
 
 
 def export_metrics(path: str,
-                   registry: MetricsRegistry | None = None) -> str:
+                   registry: MetricsRegistry | None = None, *,
+                   prefix: str | None = None,
+                   extra: Sequence[dict] | None = None) -> str:
     """Write a registry snapshot as flat JSON; returns ``path``."""
     _ensure_parent(path)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(metrics_payload(registry), fh, indent=2, sort_keys=True,
-                  default=_json_safe)
+        json.dump(metrics_payload(registry, prefix=prefix, extra=extra),
+                  fh, indent=2, sort_keys=True, default=_json_safe)
     return path

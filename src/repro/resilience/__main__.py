@@ -18,43 +18,18 @@
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
 
 from repro.errors import ReproError
 from repro.mpi.perfmodel import CPLANT, LOCALHOST, ZERO_COST
 from repro.resilience import checkpoint as app_ckpt
-from repro.resilience import faults
-from repro.resilience.runner import supervise
+from repro.resilience.runner import parse_fault_spec, run_supervised
 
 _MACHINES = {"localhost": LOCALHOST, "zero-cost": ZERO_COST,
              "cplant": CPLANT}
 
-
-def parse_fault_spec(spec: str) -> faults.FaultPlan:
-    """``key=value[,key=value...]`` over :class:`~repro.resilience.faults.FaultPlan` fields.
-
-    Example: ``kill_rank=1,kill_step=3,seed=7``.
-    """
-    types = {f.name: f.type for f in dataclasses.fields(faults.FaultPlan)}
-    kwargs = {}
-    for item in spec.split(","):
-        item = item.strip()
-        if not item:
-            continue
-        if "=" not in item:
-            raise ValueError(f"bad fault spec item {item!r} "
-                             f"(expected key=value)")
-        key, value = item.split("=", 1)
-        key = key.strip()
-        if key not in types:
-            raise ValueError(
-                f"unknown fault field {key!r} (have: "
-                f"{', '.join(sorted(types))})")
-        conv = {"int": int, "float": float, "str": str}[types[key]]
-        kwargs[key] = conv(value.strip())
-    return faults.FaultPlan(**kwargs)
+__all__ = ["main", "build_parser", "parse_fault_spec"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,38 +82,26 @@ def _cmd_run(args) -> int:
         return 2
     if args.fault:
         try:
-            faults.configure(parse_fault_spec(args.fault))
+            parse_fault_spec(args.fault)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.tsan:
-        from repro.mpi import sanitizer
-        sanitizer.configure()
-    from repro.analysis.wiring import default_classes
     try:
-        # supervise() records injected-fault counts into the report while
-        # the plan is still armed
-        report = supervise(text, default_classes(), nprocs=args.nprocs,
-                           retries=args.retries, backoff=args.backoff,
-                           machine=_MACHINES[args.machine])
+        result = run_supervised(text, nprocs=args.nprocs,
+                                retries=args.retries, backoff=args.backoff,
+                                machine=_MACHINES[args.machine],
+                                fault=args.fault or None, tsan=args.tsan)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    finally:
-        if args.fault:
-            faults.deactivate()
-        if args.tsan:
-            from repro.mpi import sanitizer
-            sanitizer.deactivate()
     if args.metrics:
         # Schema-1 envelope (repro.obs.export) + the legacy report keys
         # at top level: obs-metrics consumers read "metrics", existing
         # consumers keep reading "ok"/"restarts"/... unchanged.
-        from repro.obs.export import wrap_metrics
-        payload = {**report.to_json(), **wrap_metrics(report.to_metrics())}
         with open(args.metrics, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+            json.dump(result.metrics(), fh, indent=2, sort_keys=True)
             fh.write("\n")
+    report = result.report
     status = "ok" if report.ok else "FAILED"
     print(f"{status}: {report.attempts} attempt(s), "
           f"{report.restarts} restart(s), nprocs={report.nprocs}")

@@ -15,6 +15,7 @@ The script itself says *what* to checkpoint (the driver's
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
@@ -85,6 +86,123 @@ class RunReport:
                 "resilience.injected_faults", "counter", count,
                 labels={"kind": kind}))
         return records
+
+
+@dataclass
+class RunResult:
+    """What one in-process supervised run produced.
+
+    Wraps the supervision loop's :class:`RunReport` together with the
+    per-rank ``go`` results and the schema-1 metrics envelope — callers
+    (the :mod:`repro.serve` scheduler, the CLI's ``--metrics`` writer)
+    get the final metrics dict directly instead of reading it back off
+    disk.
+    """
+
+    report: RunReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def attempts(self) -> int:
+        return self.report.attempts
+
+    @property
+    def restarts(self) -> int:
+        return self.report.restarts
+
+    @property
+    def results(self) -> list[Any]:
+        """Per-rank ``go`` results of the successful attempt (raw objects,
+        arrays included — not the scalar-reduced ``to_json`` view)."""
+        return self.report.results
+
+    @property
+    def failures(self) -> list[str]:
+        return self.report.failures
+
+    @property
+    def injected(self) -> dict[str, int]:
+        return self.report.injected
+
+    def metrics(self) -> dict:
+        """The final metrics document: the schema-1 envelope
+        (:func:`repro.obs.export.wrap_metrics`) over the report's metric
+        records, with the legacy report keys (``ok``/``restarts``/...)
+        kept at top level for existing consumers.  This is exactly what
+        the CLI's ``--metrics`` flag writes."""
+        from repro.obs.export import wrap_metrics
+        return {**self.report.to_json(),
+                **wrap_metrics(self.report.to_metrics())}
+
+
+def parse_fault_spec(spec: str) -> _faults.FaultPlan:
+    """``key=value[,key=value...]`` over :class:`~repro.resilience.faults.FaultPlan` fields.
+
+    Example: ``kill_rank=1,kill_step=3,seed=7``.
+    """
+    types = {f.name: f.type for f in dataclasses.fields(_faults.FaultPlan)}
+    kwargs: dict[str, Any] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"bad fault spec item {item!r} "
+                             f"(expected key=value)")
+        key, value = item.split("=", 1)
+        key = key.strip()
+        if key not in types:
+            raise ValueError(
+                f"unknown fault field {key!r} (have: "
+                f"{', '.join(sorted(types))})")
+        conv = {"int": int, "float": float, "str": str}[types[key]]
+        kwargs[key] = conv(value.strip())
+    return _faults.FaultPlan(**kwargs)
+
+
+def run_supervised(script: str, classes: Iterable | None = None,
+                   nprocs: int = 1, retries: int = 3, backoff: float = 0.0,
+                   machine: MachineModel = LOCALHOST,
+                   fault: str | _faults.FaultPlan | None = None,
+                   tsan: bool = False) -> RunResult:
+    """The in-process supervised run: :func:`supervise` plus the arming
+    ceremony the CLI used to own.
+
+    ``classes`` defaults to the stock component registry
+    (:func:`repro.analysis.wiring.default_classes`).  ``fault`` arms the
+    deterministic fault injector for the duration of the run — either a
+    :class:`~repro.resilience.faults.FaultPlan` or a spec string for
+    :func:`parse_fault_spec`; ``tsan`` arms the runtime race sanitizer.
+    Both are disarmed again before returning, whatever happened.
+
+    Returns a :class:`RunResult`; inspect ``.ok`` / ``.results`` /
+    ``.metrics()``.
+    """
+    if classes is None:
+        from repro.analysis.wiring import default_classes
+        classes = default_classes()
+    if isinstance(fault, str):
+        fault = parse_fault_spec(fault) if fault.strip() else None
+    if fault is not None:
+        _faults.configure(fault)
+    if tsan:
+        from repro.mpi import sanitizer
+        sanitizer.configure()
+    try:
+        # supervise() records injected-fault counts into the report while
+        # the plan is still armed
+        report = supervise(script, classes, nprocs=nprocs, retries=retries,
+                           backoff=backoff, machine=machine)
+    finally:
+        if fault is not None:
+            _faults.deactivate()
+        if tsan:
+            from repro.mpi import sanitizer
+            sanitizer.deactivate()
+    return RunResult(report)
 
 
 def with_resume(text: str) -> str:

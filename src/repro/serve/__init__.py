@@ -1,0 +1,56 @@
+"""repro.serve — a multi-tenant simulation service.
+
+The paper's components answer *one* question per run; this package turns
+the component assemblies into a **service**: many tenants submit
+rc-script jobs, a bounded scheduler executes them under the resilience
+supervisor, a content-addressed cache answers repeated questions from
+disk, and a batching planner coalesces structurally-identical
+0D-ignition requests into one vectorized solve — with a bitwise
+equivalence contract back to the sequential framework path, so batching
+and caching are pure optimizations, never semantic forks.
+
+Layers (each its own module):
+
+* :mod:`repro.serve.jobs` — job model + filesystem job store
+* :mod:`repro.serve.cache` — content-addressed result cache
+* :mod:`repro.serve.batching` — which jobs may share one solve
+* :mod:`repro.serve.scheduler` — the bounded worker pool
+* :mod:`repro.serve.service` — the facade tying it together
+* :mod:`repro.serve.__main__` — ``python -m repro.serve`` CLI
+"""
+
+from repro.serve.batching import BatchPlan, plan_for
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    apply_overrides,
+)
+from repro.serve.scheduler import Scheduler
+from repro.serve.service import SimulationService, load_script
+
+__all__ = [
+    "BatchPlan",
+    "plan_for",
+    "ResultCache",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "apply_overrides",
+    "Scheduler",
+    "SimulationService",
+    "load_script",
+]

@@ -1,0 +1,124 @@
+"""Content-addressed result cache.
+
+A result is addressed by what *produced* it: the sha256 of the
+rc-script text, the canonicalized parameter overrides, and the code
+fingerprint (:func:`repro.bench.trajectory.code_fingerprint` — commit,
+host, fast-mode, Python version).  Two submissions with the same key are
+the same computation, so the second one can be answered from disk; any
+change to the code or environment changes the fingerprint and therefore
+the key, which makes stale hits structurally impossible rather than a
+TTL guess.
+
+Entries live under ``<root>/<key[:2]>/<key>.json`` and are written
+atomically.  ``get`` validates the envelope (schema + embedded key) and
+*evicts* anything malformed — a corrupted entry degrades to a cache
+miss, never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Any, Mapping
+
+from repro.bench.trajectory import code_fingerprint
+from repro.serve.jobs import canonical_params, jsonable
+
+CACHE_SCHEMA = 1
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem content-addressed cache (see the module docstring)."""
+
+    def __init__(self, root: str,
+                 fingerprint: Mapping[str, Any] | None = None) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.fingerprint = dict(fingerprint) if fingerprint is not None \
+            else code_fingerprint()
+
+    # -- addressing -------------------------------------------------------
+    def key(self, script: str, params: Mapping[str, Any] | None) -> str:
+        """The content address of (script, params) under this code."""
+        material = {
+            "schema": CACHE_SCHEMA,
+            "script_sha256": _sha256_text(script),
+            "params": canonical_params(params),
+            "fingerprint": self.fingerprint,
+        }
+        blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- access -----------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached entry, or None.  Malformed entries are evicted."""
+        path = self.path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._evict(path)
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("schema") != CACHE_SCHEMA
+                or entry.get("key") != key
+                or "result" not in entry):
+            self._evict(path)
+            return None
+        return entry
+
+    def put(self, key: str, result: Any, **meta: Any) -> dict[str, Any]:
+        """Store ``result`` (made JSON-safe) under ``key``; concurrent
+        racers writing the same key both succeed — last ``os.replace``
+        wins with identical content, since the key *is* the content."""
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "result": jsonable(result),
+            **{k: jsonable(v) for k, v in meta.items()},
+        }
+        path = self.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return entry
+
+    @staticmethod
+    def _evict(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- introspection ----------------------------------------------------
+    def keys(self) -> list[str]:
+        out = []
+        for shard in sorted(os.listdir(self.root)):
+            sub = os.path.join(self.root, shard)
+            if not os.path.isdir(sub):
+                continue
+            for name in sorted(os.listdir(sub)):
+                if name.endswith(".json"):
+                    out.append(name[:-5])
+        return out
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path(key))

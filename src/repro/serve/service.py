@@ -1,0 +1,271 @@
+"""The multi-tenant simulation service facade.
+
+One object ties the subsystem together: a :class:`~repro.serve.jobs.JobStore`
+for durability, a :class:`~repro.serve.cache.ResultCache` for
+content-addressed reuse, a :class:`~repro.serve.scheduler.Scheduler` for
+execution, and the metrics registry for per-tenant observability.  The
+CLI (:mod:`repro.serve.__main__`) is a thin shell over this class;
+library users drive it directly::
+
+    with SimulationService(root) as svc:
+        job_id = svc.submit(script, params={"Initializer.T0": 1100.0},
+                            tenant="alice")
+        svc.drain()
+        result = svc.result(job_id)["result"]
+
+Everything is filesystem-backed under ``root`` — no sockets, no
+daemons — so separate CLI invocations (submit now, run later, query
+after) compose through the store, and tests stay hermetic.
+
+Booting a service *recovers* the store: jobs found ``queued`` are
+re-enqueued; jobs found ``running`` (a previous process died mid-run)
+are re-queued too — the supervised runner makes re-execution safe, and
+the content cache makes it cheap when the result actually landed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import ServeError
+from repro.obs.export import metrics_payload
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.serve import jobs as J
+from repro.serve.batching import BatchPlan, plan_for
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobSpec, JobStore
+from repro.serve.scheduler import Scheduler
+
+
+class SimulationService:
+    """Submit / schedule / batch / cache / observe (see module doc)."""
+
+    def __init__(self, root: str, *, workers: int = 2, batch_size: int = 8,
+                 classes: Iterable | None = None,
+                 registry: MetricsRegistry | None = None,
+                 fingerprint: Mapping[str, Any] | None = None,
+                 autostart: bool = True) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.store = JobStore(os.path.join(root, "jobs"))
+        self.cache = ResultCache(os.path.join(root, "cache"),
+                                 fingerprint=fingerprint)
+        self.registry = registry if registry is not None else get_registry()
+        self.scheduler = Scheduler(self.store, self.cache, workers=workers,
+                                   batch_size=batch_size, classes=classes,
+                                   registry=self.registry)
+        self._recover()
+        if autostart:
+            self.scheduler.start()
+
+    # -- lifecycle --------------------------------------------------------
+    def _recover(self) -> None:
+        """Re-enqueue jobs a previous process left unfinished."""
+        pending: list[tuple[str, int, BatchPlan | None]] = []
+        for record in self.store.records():
+            if record.state == J.RUNNING:
+                record = self.store.transition(
+                    record.job_id, (J.RUNNING,), state=J.QUEUED,
+                    started=0.0)
+                if record is None:
+                    continue
+            if record.state != J.QUEUED:
+                continue
+            try:
+                spec = self.store.get_spec(record.job_id)
+            except ServeError:
+                continue
+            pending.append((record.job_id, record.priority,
+                            self._plan(spec)))
+        if pending:
+            self.scheduler.enqueue_many(pending)
+
+    def close(self) -> None:
+        self.scheduler.stop()
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission -------------------------------------------------------
+    @staticmethod
+    def _plan(spec: JobSpec) -> BatchPlan | None:
+        """Fault-injected or multi-rank jobs never batch; the planner
+        decides for the rest."""
+        if spec.fault or spec.nprocs != 1:
+            return None
+        return plan_for(spec.script, spec.params)
+
+    def submit(self, script: str, *,
+               params: Mapping[str, Any] | None = None,
+               tenant: str = "default", priority: int = 0, nprocs: int = 1,
+               retries: int = 0, backoff: float = 0.0, fault: str = "",
+               use_cache: bool = True) -> str:
+        """Register one job; returns its id.  A content-cache hit at
+        submit time completes the job immediately (no queue round
+        trip)."""
+        job_id, pending = self._submit_one(
+            script, params=params, tenant=tenant, priority=priority,
+            nprocs=nprocs, retries=retries, backoff=backoff, fault=fault,
+            use_cache=use_cache)
+        if pending is not None:
+            self.scheduler.enqueue_many([pending])
+        return job_id
+
+    def _submit_one(self, script: str, *, params, tenant, priority, nprocs,
+                    retries, backoff, fault, use_cache) -> tuple[
+                        str, tuple[str, int, BatchPlan | None] | None]:
+        spec = JobSpec(script=script, params=J.canonical_params(params),
+                       tenant=str(tenant), priority=int(priority),
+                       nprocs=int(nprocs), retries=int(retries),
+                       backoff=float(backoff), fault=str(fault or ""),
+                       use_cache=bool(use_cache))
+        plan = self._plan(spec)
+        # fault-injected runs are experiments on the failure path, not
+        # reusable results: exclude them from the cache entirely
+        key = self.cache.key(script, spec.params) \
+            if spec.use_cache and not spec.fault else ""
+        record = self.store.new_job(spec)
+        self.store.transition(record.job_id, (J.QUEUED,), cache_key=key,
+                              signature=plan.group_key if plan else "")
+        self.registry.counter("serve.jobs_submitted", tenant=spec.tenant).inc()
+        entry = self.cache.get(key) if key else None
+        if entry is not None:
+            now = time.time()
+            self.store.write_result(record.job_id, {
+                "schema": J.JOB_SCHEMA, "job_id": record.job_id,
+                "cache_hit": True, "batched": False,
+                "result": entry["result"],
+            })
+            self.store.transition(record.job_id, (J.QUEUED,), state=J.DONE,
+                                  started=now, finished=now, cache_hit=True)
+            self.registry.counter("serve.cache_hits",
+                                  tenant=spec.tenant).inc()
+            self.registry.counter("serve.jobs_done",
+                                  tenant=spec.tenant).inc()
+            return record.job_id, None
+        return record.job_id, (record.job_id, spec.priority, plan)
+
+    def sweep(self, script: str, grid: Mapping[str, Sequence[Any]], *,
+              params: Mapping[str, Any] | None = None,
+              **submit_kwargs: Any) -> list[str]:
+        """Submit the cartesian product of ``grid`` as one job family.
+
+        ``grid`` maps override keys (``"Initializer.T0"``) to value
+        lists; ``params`` holds overrides common to every point.  All
+        jobs are enqueued under one lock so the batching planner sees
+        the whole family before the first claim.
+        """
+        if not grid:
+            raise ServeError("sweep needs a non-empty grid")
+        keys = sorted(grid)
+        job_ids: list[str] = []
+        pending: list[tuple[str, int, BatchPlan | None]] = []
+        for values in itertools.product(*(grid[k] for k in keys)):
+            point = dict(params or {})
+            point.update(dict(zip(keys, values)))
+            job_id, entry = self._submit_one(
+                script, params=point,
+                tenant=submit_kwargs.get("tenant", "default"),
+                priority=submit_kwargs.get("priority", 0),
+                nprocs=submit_kwargs.get("nprocs", 1),
+                retries=submit_kwargs.get("retries", 0),
+                backoff=submit_kwargs.get("backoff", 0.0),
+                fault=submit_kwargs.get("fault", ""),
+                use_cache=submit_kwargs.get("use_cache", True))
+            job_ids.append(job_id)
+            if entry is not None:
+                pending.append(entry)
+        if pending:
+            self.scheduler.enqueue_many(pending)
+        return job_ids
+
+    # -- queries ----------------------------------------------------------
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.store.get_record(job_id).to_json()
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The stored result payload of a finished job."""
+        record = self.store.get_record(job_id)
+        if record.state == J.FAILED:
+            raise ServeError(f"job {job_id} failed: {record.error}")
+        if record.state != J.DONE:
+            raise ServeError(f"job {job_id} is {record.state}, not done")
+        return self.store.read_result(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        self.store.get_record(job_id)  # raise ServeError on unknown id
+        return self.scheduler.cancel(job_id)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        return self.scheduler.drain(timeout)
+
+    # -- observability ----------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Service-level statistics: a schema-1 metrics envelope (the
+        registry's ``serve.*`` records) plus durable aggregates derived
+        from the job store, per tenant and total."""
+        records = self.store.records()
+        by_state: dict[str, int] = {s: 0 for s in J.STATES}
+        tenants: dict[str, dict[str, Any]] = {}
+        occupancies: list[int] = []
+        for r in records:
+            by_state[r.state] = by_state.get(r.state, 0) + 1
+            t = tenants.setdefault(r.tenant, {
+                "submitted": 0, "done": 0, "failed": 0, "cancelled": 0,
+                "cache_hits": 0, "batched": 0})
+            t["submitted"] += 1
+            if r.state == J.DONE:
+                t["done"] += 1
+            elif r.state == J.FAILED:
+                t["failed"] += 1
+            elif r.state == J.CANCELLED:
+                t["cancelled"] += 1
+            if r.cache_hit:
+                t["cache_hits"] += 1
+            if r.batched:
+                t["batched"] += 1
+                occupancies.append(r.batch_size)
+        for t in tenants.values():
+            finished = t["done"] + t["failed"]
+            t["cache_hit_ratio"] = (t["cache_hits"] / finished
+                                    if finished else 0.0)
+        payload = metrics_payload(self.registry, prefix="serve.")
+        payload.update({
+            "jobs": {"total": len(records), **by_state},
+            "tenants": tenants,
+            "cache": {
+                "entries": len(self.cache),
+                "hits": sum(t["cache_hits"] for t in tenants.values()),
+            },
+            "batching": {
+                "batched_jobs": sum(t["batched"]
+                                    for t in tenants.values()),
+                "mean_occupancy": (sum(occupancies) / len(occupancies)
+                                   if occupancies else 0.0),
+            },
+            "queue_depth": self.scheduler.queue_depth(),
+        })
+        return payload
+
+
+def load_script(script: str | None, script_path: str | None) -> str:
+    """Resolve the script text from inline text or a file path."""
+    if (script is None) == (script_path is None):
+        raise ServeError("exactly one of script / script_path is required")
+    if script is not None:
+        return script
+    try:
+        with open(script_path, encoding="utf-8") as fh:  # type: ignore[arg-type]
+            return fh.read()
+    except OSError as exc:
+        raise ServeError(f"cannot read script {script_path!r}: {exc}") \
+            from None
+
+
+__all__ = ["SimulationService", "load_script"]

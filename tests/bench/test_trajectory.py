@@ -98,3 +98,12 @@ def test_save_json_appends_to_trajectory(traj_dir, tmp_path, monkeypatch):
     save_json("demo", {"t": 9.0}, metrics={"t": 9.0})
     doc = trajectory.load_trajectory(trajectory.trajectory_path("demo"))
     assert len(doc["runs"]) == 2
+
+
+def test_code_fingerprint_is_public_and_stable(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    fp = trajectory.code_fingerprint()
+    assert set(fp) == {"host", "commit", "fast", "python"}
+    assert fp["fast"] is True
+    # the private alias used by append_run stays in sync
+    assert trajectory.fingerprint() == fp

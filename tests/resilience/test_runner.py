@@ -122,3 +122,36 @@ def test_bad_script_fails_fast():
     from repro.errors import ScriptError
     with pytest.raises(ScriptError):
         supervise("frobnicate X y\n", default_classes())
+
+
+class TestRunSupervised:
+    """The in-process entry point wrapping supervise()."""
+
+    def test_clean_run_returns_results_and_metrics(self, tmp_path):
+        from repro.resilience.runner import run_supervised
+        result = run_supervised(flame_rc(tmp_path), retries=0)
+        assert result.ok
+        assert result.attempts == 1 and result.restarts == 0
+        assert result.results[0]["n_steps"] == 5
+        doc = result.metrics()
+        assert doc["schema"] == 1 and doc["ok"] is True
+        names = {r["name"] for r in doc["metrics"]}
+        assert {"resilience.attempts", "resilience.restarts",
+                "resilience.ok"} <= names
+
+    def test_fault_spec_string_is_armed_and_disarmed(self, tmp_path):
+        from repro.resilience.runner import run_supervised
+        result = run_supervised(flame_rc(tmp_path), retries=2,
+                                fault="kill_rank=0,kill_step=3,"
+                                      "kill_max_fires=1")
+        assert result.ok
+        assert result.restarts == 1
+        assert result.injected["kills"] == 1
+        assert faults.on is False  # disarmed on the way out
+
+    def test_disarms_even_when_script_is_bad(self):
+        from repro.errors import ScriptError
+        from repro.resilience.runner import run_supervised
+        with pytest.raises(ScriptError):
+            run_supervised("frobnicate X y\n", fault="kill_rank=0")
+        assert faults.on is False

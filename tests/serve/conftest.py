@@ -1,0 +1,57 @@
+"""Shared fixtures for the serve subsystem tests.
+
+``IGNITION_RC`` is the canonical 0D-ignition assembly configured for
+test speed (h2-lite stays chemically frozen from radical-free mixtures;
+a short horizon keeps the 20-point output grid cheap) — exactly the
+template :mod:`repro.serve.batching` recognizes.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.service import SimulationService
+
+IGNITION_RC = """\
+repository get-global Ignition0DDriver
+instantiate Initializer Initializer
+instantiate ThermoChemistry ThermoChemistry
+instantiate ProblemModeler problemModeler
+instantiate DPDt dPdt
+instantiate CvodeComponent CvodeComponent
+instantiate StatisticsComponent Statistics
+instantiate Ignition0DDriver Driver
+parameter ThermoChemistry mechanism h2-lite
+parameter Initializer T0 1000.0
+parameter Driver t_end 1e-5
+connect Initializer chem ThermoChemistry chemistry
+connect dPdt chem ThermoChemistry chemistry
+connect problemModeler chem ThermoChemistry chemistry
+connect problemModeler dpdt dPdt dpdt
+connect CvodeComponent rhs problemModeler model
+connect Driver ic Initializer ic
+connect Driver solver CvodeComponent solver
+connect Driver model problemModeler model
+connect Driver chem ThermoChemistry chemistry
+connect Driver stats Statistics stats
+go Driver
+"""
+
+
+@pytest.fixture
+def script():
+    return IGNITION_RC
+
+
+@pytest.fixture
+def registry():
+    """A private registry so metric assertions see only this test."""
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def service(tmp_path, registry):
+    """A running service on a throwaway root (stopped at teardown)."""
+    svc = SimulationService(str(tmp_path / "serve"), workers=2,
+                            batch_size=16, registry=registry)
+    yield svc
+    svc.close()

@@ -1,0 +1,83 @@
+"""The batching planner: template recognition and group keys."""
+
+from repro.serve.batching import DEFAULT_SETTINGS, plan_for
+
+
+class TestRecognition:
+    def test_canonical_script_is_batchable(self, script):
+        plan = plan_for(script)
+        assert plan is not None
+        assert plan.settings["mechanism"] == "h2-lite"
+        assert plan.settings["t_end"] == 1e-5
+        assert plan.condition == {"T0": 1000.0}
+
+    def test_overrides_feed_the_condition(self, script):
+        plan = plan_for(script, {"Initializer.T0": 1100,
+                                 "Initializer.phi": 0.9,
+                                 "ThermoChemistry.rate_scale": 1.05})
+        assert plan.condition == {"T0": 1100.0, "phi": 0.9,
+                                  "rate_scale": 1.05}
+
+    def test_renamed_instances_still_match(self, script):
+        # matching is by class, so instance names are free
+        renamed = script \
+            .replace("connect Driver ic Initializer ic",
+                     "connect Driver ic the_ic ic") \
+            .replace("connect Initializer chem",
+                     "connect the_ic chem") \
+            .replace("instantiate Initializer Initializer",
+                     "instantiate Initializer the_ic") \
+            .replace("parameter Initializer T0",
+                     "parameter the_ic T0")
+        plan = plan_for(renamed)
+        assert plan is not None
+        assert plan.condition == {"T0": 1000.0}
+
+    def test_defaults_match_component_defaults(self, script):
+        stripped = "\n".join(
+            ln for ln in script.splitlines()
+            if not ln.startswith("parameter"))
+        plan = plan_for(stripped)
+        assert plan.settings == DEFAULT_SETTINGS
+        assert plan.condition == {}
+
+
+class TestRejection:
+    def test_unknown_parameter_bails_to_sequential(self, script):
+        assert plan_for(script,
+                        {"Driver.checkpoint_path": "/tmp/ck"}) is None
+        assert plan_for(script, {"Driver.resume": 1}) is None
+
+    def test_missing_connection_bails(self, script):
+        cut = "\n".join(ln for ln in script.splitlines()
+                        if ln != "connect Driver stats Statistics stats")
+        assert plan_for(cut) is None
+
+    def test_extra_component_bails(self, script):
+        extra = script.replace(
+            "go Driver",
+            "instantiate StatisticsComponent Stats2\ngo Driver")
+        assert plan_for(extra) is None
+
+    def test_second_go_bails(self, script):
+        assert plan_for(script + "go Driver\n") is None
+
+    def test_syntax_error_bails(self):
+        assert plan_for("instantiate\n") is None
+
+    def test_non_numeric_condition_bails(self, script):
+        assert plan_for(script, {"Initializer.T0": "hot"}) is None
+
+
+class TestGroupKeys:
+    def test_same_settings_share_a_group(self, script):
+        a = plan_for(script, {"Initializer.T0": 1000.0})
+        b = plan_for(script, {"Initializer.T0": 1100.0,
+                              "Initializer.phi": 0.8})
+        assert a.group_key == b.group_key
+
+    def test_different_settings_split_groups(self, script):
+        a = plan_for(script)
+        b = plan_for(script, {"CvodeComponent.rtol": 1e-10})
+        c = plan_for(script, {"Driver.n_output": 10})
+        assert len({a.group_key, b.group_key, c.group_key}) == 3

@@ -1,0 +1,120 @@
+"""Content-addressed result cache: addressing, eviction, concurrency."""
+
+import json
+import threading
+
+from repro.serve.cache import ResultCache
+
+FP = {"host": "h", "commit": "abc", "fast": True, "python": "3"}
+
+
+def make_cache(tmp_path, fp=FP):
+    return ResultCache(str(tmp_path / "cache"), fingerprint=fp)
+
+
+class TestAddressing:
+    def test_key_is_deterministic(self, tmp_path):
+        cache = make_cache(tmp_path)
+        a = cache.key("go Driver", {"I.T0": 1000.0})
+        b = cache.key("go Driver", {"I.T0": 1000.0})
+        assert a == b and len(a) == 64
+
+    def test_key_depends_on_script_params_and_fingerprint(self, tmp_path):
+        cache = make_cache(tmp_path)
+        base = cache.key("go Driver", {"I.T0": 1000.0})
+        assert cache.key("go Driver # v2", {"I.T0": 1000.0}) != base
+        assert cache.key("go Driver", {"I.T0": 1001.0}) != base
+        other = make_cache(tmp_path, fp={**FP, "commit": "def"})
+        assert other.key("go Driver", {"I.T0": 1000.0}) != base
+
+    def test_param_order_is_irrelevant(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.key("x", {"A.a": 1, "B.b": 2}) == \
+            cache.key("x", {"B.b": 2, "A.a": 1})
+
+
+class TestHitMiss:
+    def test_get_miss_then_hit(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = cache.key("s", {})
+        assert cache.get(key) is None
+        cache.put(key, {"T_final": 1000.5}, job_id="j-000001")
+        entry = cache.get(key)
+        assert entry["result"] == {"T_final": 1000.5}
+        assert entry["job_id"] == "j-000001"
+        assert key in cache and len(cache) == 1
+
+    def test_float_results_survive_bitwise(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = cache.key("s", {})
+        value = 0.1 + 0.2
+        cache.put(key, {"v": value})
+        assert cache.get(key)["result"]["v"] == value
+
+
+class TestEviction:
+    def test_corrupted_entry_is_evicted_to_a_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = cache.key("s", {})
+        cache.put(key, {"v": 1})
+        path = cache.path(key)
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        assert cache.get(key) is None        # miss, not a crash
+        assert not cache.keys()              # and the entry is gone
+
+    def test_wrong_embedded_key_is_evicted(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key_a = cache.key("a", {})
+        key_b = cache.key("b", {})
+        cache.put(key_a, {"v": 1})
+        # simulate a mis-filed entry: content of a under b's address
+        entry = json.load(open(cache.path(key_a)))
+        import os
+        os.makedirs(os.path.dirname(cache.path(key_b)), exist_ok=True)
+        json.dump(entry, open(cache.path(key_b), "w"))
+        assert cache.get(key_b) is None
+        assert cache.get(key_a)["result"] == {"v": 1}
+
+    def test_schema_mismatch_is_evicted(self, tmp_path):
+        cache = make_cache(tmp_path)
+        key = cache.key("s", {})
+        cache.put(key, {"v": 1})
+        entry = json.load(open(cache.path(key)))
+        entry["schema"] = 999
+        json.dump(entry, open(cache.path(key), "w"))
+        assert cache.get(key) is None
+
+
+class TestConcurrency:
+    def test_racing_writers_one_reader_never_sees_torn_state(self,
+                                                             tmp_path):
+        cache = make_cache(tmp_path)
+        key = cache.key("s", {})
+        errors = []
+
+        def put_many(tag):
+            try:
+                for _ in range(25):
+                    cache.put(key, {"tag": tag, "v": 1.5})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def get_many():
+            try:
+                for _ in range(50):
+                    entry = cache.get(key)
+                    if entry is not None:
+                        assert entry["result"]["v"] == 1.5
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=put_many, args=(t,))
+                   for t in range(4)] + [threading.Thread(target=get_many)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.get(key)["result"]["v"] == 1.5
+        assert len(cache) == 1

@@ -1,0 +1,110 @@
+"""``python -m repro.serve`` front end."""
+
+import json
+
+import pytest
+
+from repro.serve.__main__ import _parse_grid_values, main
+from tests.serve.conftest import IGNITION_RC
+
+
+@pytest.fixture
+def rc_file(tmp_path):
+    path = tmp_path / "ignition.rc"
+    path.write_text(IGNITION_RC)
+    return str(path)
+
+
+@pytest.fixture
+def root(tmp_path):
+    return str(tmp_path / "serve_root")
+
+
+def _ids(out: str) -> list[str]:
+    return [ln for ln in out.splitlines() if ln.startswith("j-")]
+
+
+class TestGridParsing:
+    def test_comma_list(self):
+        assert _parse_grid_values("bdf,adams") == ["bdf", "adams"]
+
+    def test_linear_span(self):
+        vals = _parse_grid_values("1000:1100:3")
+        assert vals == [1000.0, 1050.0, 1100.0]
+
+    def test_colon_text_is_not_a_span(self):
+        assert _parse_grid_values("a:b:c") == ["a:b:c"]
+
+
+def test_submit_then_run_then_result(root, rc_file, capsys):
+    assert main(["--root", root, "submit", rc_file,
+                 "--param", "Initializer.T0=1050"]) == 0
+    job_id = _ids(capsys.readouterr().out)[0]
+
+    assert main(["--root", root, "status", job_id]) == 0
+    assert json.loads(capsys.readouterr().out)["state"] == "queued"
+
+    assert main(["--root", root, "run"]) == 0
+    out = capsys.readouterr().out
+    assert "processed 1 job(s): 1 done" in out
+
+    assert main(["--root", root, "result", job_id]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["result"]["T0"] == 1050.0
+    assert payload["result"]["T_final"] > 0
+
+
+def test_sweep_run_twice_hits_cache(root, rc_file, capsys):
+    argv = ["--root", root, "sweep", rc_file,
+            "--grid", "Initializer.T0=1000:1100:3", "--run"]
+    assert main(argv) == 0
+    first = _ids(capsys.readouterr().out)
+    assert len(first) == 3
+
+    assert main(argv) == 0
+    second = _ids(capsys.readouterr().out)
+    for job_id in second:
+        assert main(["--root", root, "status", job_id]) == 0
+        assert json.loads(capsys.readouterr().out)["cache_hit"] is True
+
+    assert main(["--root", root, "stats"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["schema"] == 1
+    assert stats["jobs"]["done"] == 6
+    assert stats["cache"]["hits"] == 3
+    assert stats["batching"]["batched_jobs"] == 3
+
+
+def test_stats_out_writes_schema1_file(root, rc_file, tmp_path, capsys):
+    assert main(["--root", root, "submit", rc_file, "--run"]) == 0
+    capsys.readouterr()
+    out = str(tmp_path / "m" / "stats.json")
+    assert main(["--root", root, "stats", "--out", out]) == 0
+    doc = json.loads(open(out).read())
+    assert doc["schema"] == 1 and "metrics" in doc
+
+def test_cancel_queued_job(root, rc_file, capsys):
+    assert main(["--root", root, "submit", rc_file]) == 0
+    job_id = _ids(capsys.readouterr().out)[0]
+    assert main(["--root", root, "cancel", job_id]) == 0
+    assert "cancelled" in capsys.readouterr().out
+    assert main(["--root", root, "cancel", job_id]) == 1  # terminal now
+
+
+def test_failed_run_exits_one(root, rc_file, capsys):
+    assert main(["--root", root, "submit", rc_file,
+                 "--param", "ThermoChemistry.mechanism=missing",
+                 "--run"]) == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_bad_fault_spec_exits_two(root, rc_file, capsys):
+    assert main(["--root", root, "submit", rc_file,
+                 "--fault", "explode=1"]) == 2
+    assert "unknown fault field" in capsys.readouterr().err
+
+
+def test_bad_param_exits_two(root, rc_file, capsys):
+    assert main(["--root", root, "submit", rc_file,
+                 "--param", "oops"]) == 2
+    assert "bad --param" in capsys.readouterr().err

@@ -1,0 +1,117 @@
+"""Job model, override rewriting, and the filesystem job store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import jobs as J
+from repro.serve.jobs import (
+    JobSpec,
+    JobStore,
+    apply_overrides,
+    canonical_params,
+    jsonable,
+)
+
+
+class TestApplyOverrides:
+    def test_rewrites_existing_parameter_line(self, script):
+        out = apply_overrides(script, {"Initializer.T0": 1234.5})
+        assert "parameter Initializer T0 1234.5" in out
+        assert "parameter Initializer T0 1000.0" not in out
+        # only the one line changed
+        assert out.count("parameter Initializer T0") == 1
+
+    def test_injects_missing_parameter_before_go(self, script):
+        out = apply_overrides(script, {"Initializer.phi": 0.8})
+        lines = out.splitlines()
+        i_param = lines.index("parameter Initializer phi 0.8")
+        i_go = lines.index("go Driver")
+        assert i_param < i_go
+
+    def test_float_values_round_trip_bitwise(self, script):
+        from repro.cca.script import _parse_value, parse_script
+        value = 0.1 + 0.2  # not exactly representable in short decimal
+        out = apply_overrides(script, {"Initializer.T0": value})
+        for d in parse_script(out):
+            if d.verb == "parameter" and d.args[:2] == ("Initializer",
+                                                        "T0"):
+                assert _parse_value(list(d.args[2:])) == value
+                return
+        pytest.fail("override line not found")
+
+    def test_no_params_returns_text_unchanged(self, script):
+        assert apply_overrides(script, {}) is script
+
+    def test_rejects_undotted_key(self, script):
+        with pytest.raises(ServeError, match="must be"):
+            apply_overrides(script, {"T0": 1.0})
+
+
+class TestCanonicalParams:
+    def test_sorted_and_normalized(self):
+        out = canonical_params({"B.y": "2.5", "A.x": "3"})
+        assert list(out) == ["A.x", "B.y"]
+        assert out["A.x"] == 3 and out["B.y"] == 2.5
+
+    def test_cli_strings_equal_python_numbers(self):
+        assert canonical_params({"I.T0": "1100"}) == \
+            canonical_params({"I.T0": 1100})
+
+
+def test_jsonable_arrays_and_tuples_become_lists():
+    doc = jsonable({"Y": np.array([1.0, 2.0]),
+                    "hist": [(0.0, np.float64(3.5))],
+                    "n": np.int64(7)})
+    assert doc == {"Y": [1.0, 2.0], "hist": [[0.0, 3.5]], "n": 7}
+    json.dumps(doc)  # round-trippable
+
+
+class TestJobStore:
+    def test_new_job_allocates_monotonic_ids(self, tmp_path, script):
+        store = JobStore(str(tmp_path))
+        a = store.new_job(JobSpec(script=script))
+        b = store.new_job(JobSpec(script=script, tenant="t2"))
+        assert [a.job_id, b.job_id] == ["j-000001", "j-000002"]
+        assert store.job_ids() == ["j-000001", "j-000002"]
+        assert store.get_record(b.job_id).tenant == "t2"
+        assert store.get_spec(a.job_id).script == script
+
+    def test_transition_guards_state(self, tmp_path, script):
+        store = JobStore(str(tmp_path))
+        rec = store.new_job(JobSpec(script=script))
+        assert store.transition(rec.job_id, (J.QUEUED,),
+                                state=J.RUNNING) is not None
+        # queued -> cancelled no longer allowed once running
+        assert store.transition(rec.job_id, (J.QUEUED,),
+                                state=J.CANCELLED) is None
+        assert store.get_record(rec.job_id).state == J.RUNNING
+
+    def test_transition_rejects_unknown_field(self, tmp_path, script):
+        store = JobStore(str(tmp_path))
+        rec = store.new_job(JobSpec(script=script))
+        with pytest.raises(ServeError, match="unknown record field"):
+            store.transition(rec.job_id, (J.QUEUED,), bogus=1)
+
+    def test_result_round_trip(self, tmp_path, script):
+        store = JobStore(str(tmp_path))
+        rec = store.new_job(JobSpec(script=script))
+        store.write_result(rec.job_id, {"schema": 1, "result": {"x": 1.5}})
+        assert store.read_result(rec.job_id)["result"] == {"x": 1.5}
+
+    def test_unknown_job_raises(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        with pytest.raises(ServeError, match="no job"):
+            store.get_record("j-999999")
+        with pytest.raises(ServeError, match="no result"):
+            store.read_result("j-999999")
+
+    def test_spec_round_trips_all_fields(self, tmp_path, script):
+        store = JobStore(str(tmp_path))
+        spec = JobSpec(script=script, params={"Initializer.T0": 1050.0},
+                       tenant="alice", priority=3, nprocs=2, retries=1,
+                       backoff=0.5, fault="kill_rank=0", use_cache=False)
+        rec = store.new_job(spec)
+        assert store.get_spec(rec.job_id) == spec

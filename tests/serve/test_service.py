@@ -1,0 +1,174 @@
+"""End-to-end service behavior — including the PR's demo scenario:
+a 12-job two-tenant sweep answered by coalesced solves bitwise-identical
+to sequential framework runs, a resubmission answered entirely from the
+content cache, a fault-injected job that retries from checkpoint and
+completes, and per-tenant schema-1 metrics."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import jobs as J
+from repro.serve.service import SimulationService
+
+T0_GRID = [1000.0, 1040.0, 1080.0, 1120.0]
+PHI_GRID = [0.8, 1.0, 1.2]
+
+
+def _sweep(svc, script, tenant):
+    return svc.sweep(script, {"Initializer.T0": T0_GRID,
+                              "Initializer.phi": PHI_GRID},
+                     tenant=tenant)
+
+
+def test_twelve_job_sweep_demo(service, script):
+    svc = service
+    # --- phase 1: the sweep runs batched --------------------------------
+    job_ids = _sweep(svc, script, "alice")
+    assert len(job_ids) == 12
+    assert svc.drain(timeout=300)
+    payloads = {}
+    for job_id in job_ids:
+        status = svc.status(job_id)
+        assert status["state"] == J.DONE
+        assert status["batched"] is True
+        assert status["batch_size"] >= 2
+        payloads[job_id] = svc.result(job_id)
+    # --- phase 2: batched results == sequential, bitwise ----------------
+    # re-run two corner conditions alone (cache bypassed), which takes
+    # the full framework path through the supervised runner
+    for params in ({"Initializer.T0": T0_GRID[0],
+                    "Initializer.phi": PHI_GRID[0]},
+                   {"Initializer.T0": T0_GRID[-1],
+                    "Initializer.phi": PHI_GRID[-1]}):
+        seq_id = svc.submit(script, params=params, use_cache=False)
+        assert svc.drain(timeout=300)
+        assert svc.status(seq_id)["batched"] is False
+        seq = svc.result(seq_id)["result"]
+        twin_index = (T0_GRID.index(params["Initializer.T0"])
+                      * len(PHI_GRID)
+                      + PHI_GRID.index(params["Initializer.phi"]))
+        batched = payloads[job_ids[twin_index]]["result"]
+        for key in ("T_final", "P_final", "rho", "Y_H2O_final", "nfe"):
+            assert batched[key] == seq[key], key
+        assert batched["Y_final"] == seq["Y_final"]
+        assert batched["history_T"] == seq["history_T"]
+        assert batched["history_P"] == seq["history_P"]
+    # --- phase 3: resubmission is 100% cache hits -----------------------
+    again = _sweep(svc, script, "bob")
+    assert svc.drain(timeout=60)
+    hits = [svc.status(j)["cache_hit"] for j in again]
+    assert hits == [True] * 12
+    assert [svc.result(j)["result"]["T_final"] for j in again] == \
+        [payloads[j]["result"]["T_final"] for j in job_ids]
+    # --- phase 4: per-tenant schema-1 metrics ---------------------------
+    stats = svc.stats()
+    assert stats["schema"] == 1
+    assert stats["jobs"]["done"] == 26
+    assert stats["tenants"]["bob"]["cache_hits"] == 12
+    assert stats["tenants"]["bob"]["cache_hit_ratio"] == 1.0
+    assert stats["tenants"]["alice"]["batched"] == 12
+    assert stats["batching"]["batched_jobs"] == 12
+    assert stats["batching"]["mean_occupancy"] > 1.0
+    names = {(r["name"], r["labels"].get("tenant"))
+             for r in stats["metrics"]}
+    for name in ("serve.jobs_submitted", "serve.jobs_done",
+                 "serve.queue_seconds", "serve.run_seconds"):
+        assert (name, "alice") in names
+    assert ("serve.cache_hits", "bob") in names
+    assert any(r["name"] == "serve.batch_occupancy"
+               for r in stats["metrics"])
+    for record in stats["metrics"]:
+        assert record["type"] in ("counter", "gauge", "histogram")
+        assert isinstance(record["labels"], dict)
+
+
+def test_fault_injected_job_retries_and_completes(service, script,
+                                                  tmp_path):
+    svc = service
+    job_id = svc.submit(
+        script,
+        params={"Driver.checkpoint_path": str(tmp_path / "ck"),
+                "Driver.checkpoint_interval": 1},
+        retries=2, fault="kill_rank=0,kill_step=3,kill_max_fires=1",
+        tenant="chaos")
+    assert svc.drain(timeout=300)
+    status = svc.status(job_id)
+    assert status["state"] == J.DONE
+    assert status["attempts"] == 2
+    assert status["restarts"] == 1
+    assert status["batched"] is False     # fault jobs never batch
+    assert status["cache_key"] == ""      # ... and never cache
+    result = svc.result(job_id)
+    assert result["supervisor"]["injected_faults"]["kills"] == 1
+    assert result["result"]["T_final"] > 0
+
+
+def test_cache_hit_at_submit_completes_without_running(service, script):
+    svc = service
+    first = svc.submit(script, tenant="alice")
+    assert svc.drain(timeout=300)
+    second = svc.submit(script, tenant="bob")
+    status = svc.status(second)   # no drain: done at submit time
+    assert status["state"] == J.DONE
+    assert status["cache_hit"] is True
+    assert svc.result(second)["result"] == svc.result(first)["result"]
+
+
+def test_failed_job_reports_error(service, script):
+    svc = service
+    job_id = svc.submit(script,
+                        params={"ThermoChemistry.mechanism": "no-such"})
+    assert svc.drain(timeout=60)
+    status = svc.status(job_id)
+    assert status["state"] == J.FAILED
+    assert status["error"]  # the supervisor's failure summary
+    with pytest.raises(ServeError, match="failed"):
+        svc.result(job_id)
+    assert svc.stats()["tenants"]["default"]["failed"] == 1
+
+
+def test_cancel_only_hits_queued_jobs(tmp_path, registry, script):
+    svc = SimulationService(str(tmp_path / "s"), registry=registry,
+                            autostart=False)
+    try:
+        job_id = svc.submit(script)
+        assert svc.cancel(job_id) is True
+        assert svc.status(job_id)["state"] == J.CANCELLED
+        assert svc.cancel(job_id) is False  # already terminal
+        with pytest.raises(ServeError):
+            svc.cancel("j-999999")
+    finally:
+        svc.close()
+
+
+def test_recovery_requeues_interrupted_jobs(tmp_path, registry, script):
+    root = str(tmp_path / "s")
+    svc = SimulationService(root, registry=registry, autostart=False)
+    queued = svc.submit(script, params={"Initializer.T0": 1015.0})
+    crashed = svc.submit(script, params={"Initializer.T0": 1025.0})
+    # simulate a process that died mid-run
+    svc.store.transition(crashed, (J.QUEUED,), state=J.RUNNING)
+    svc.close()
+
+    svc2 = SimulationService(root, registry=registry)
+    try:
+        assert svc2.drain(timeout=300)
+        assert svc2.status(queued)["state"] == J.DONE
+        assert svc2.status(crashed)["state"] == J.DONE
+    finally:
+        svc2.close()
+
+
+def test_unbatchable_grid_point_falls_back_to_sequential(service, script):
+    svc = service
+    # rtol differs: two singleton groups -> solved alone, still correct
+    a = svc.submit(script, params={"CvodeComponent.rtol": 1e-6})
+    b = svc.submit(script, params={"CvodeComponent.rtol": 1e-9})
+    assert svc.drain(timeout=300)
+    for job_id in (a, b):
+        status = svc.status(job_id)
+        assert status["state"] == J.DONE
+        assert status["batched"] is False
+    ra = svc.result(a)["result"]
+    rb = svc.result(b)["result"]
+    assert ra["T_final"] == pytest.approx(rb["T_final"], rel=1e-5)
