@@ -128,9 +128,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     with _service(args, autostart=False) as svc:
-        queued = [r.job_id for r in svc.store.records()
-                  if r.state == J.QUEUED]
-        svc.scheduler.start()
+        queued = svc.start()  # recovery happens here, not in __init__
         code = _drain_and_report(svc, queued)
         done = sum(1 for j in queued if svc.status(j)["state"] == J.DONE)
         print(f"processed {len(queued)} job(s): {done} done, "

@@ -1,10 +1,12 @@
 """Content-addressed result cache.
 
 A result is addressed by what *produced* it: the sha256 of the
-rc-script text, the canonicalized parameter overrides, and the code
-fingerprint (:func:`repro.bench.trajectory.code_fingerprint` — commit,
-host, fast-mode, Python version).  Two submissions with the same key are
-the same computation, so the second one can be answered from disk; any
+rc-script text, the canonicalized parameter overrides, the execution
+layout (``nprocs`` — a one-rank run stores a single result document, a
+multi-rank run the per-rank list), and the code fingerprint
+(:func:`repro.bench.trajectory.code_fingerprint` — commit, host,
+fast-mode, Python version).  Two submissions with the same key are the
+same computation, so the second one can be answered from disk; any
 change to the code or environment changes the fingerprint and therefore
 the key, which makes stale hits structurally impossible rather than a
 TTL guess.
@@ -44,12 +46,16 @@ class ResultCache:
             else code_fingerprint()
 
     # -- addressing -------------------------------------------------------
-    def key(self, script: str, params: Mapping[str, Any] | None) -> str:
-        """The content address of (script, params) under this code."""
+    def key(self, script: str, params: Mapping[str, Any] | None, *,
+            nprocs: int = 1) -> str:
+        """The content address of (script, params, nprocs) under this
+        code.  ``nprocs`` is key material because the stored result
+        shape depends on it (single document vs per-rank list)."""
         material = {
             "schema": CACHE_SCHEMA,
             "script_sha256": _sha256_text(script),
             "params": canonical_params(params),
+            "nprocs": int(nprocs),
             "fingerprint": self.fingerprint,
         }
         blob = json.dumps(material, sort_keys=True, separators=(",", ":"))

@@ -114,9 +114,11 @@ def apply_overrides(text: str, params: Mapping[str, Any] | None) -> str:
     """The job's effective script: ``parameter`` overrides applied.
 
     Existing ``parameter <instance> <key> ...`` lines matching an
-    override are rewritten in place; overrides with no existing line are
-    injected ahead of the first ``go`` (after it, they would not take
-    effect), preserving the directive order the assembly relies on.
+    override are rewritten in place — but only when they precede the
+    first ``go``, since later ones do not take effect.  Overrides with
+    no effective existing line (missing, or present only after the
+    ``go``) are injected ahead of the first ``go``, preserving the
+    directive order the assembly relies on.
     """
     params = canonical_params(params)
     if not params:
@@ -127,9 +129,12 @@ def apply_overrides(text: str, params: Mapping[str, Any] | None) -> str:
         if d.verb == "parameter":
             by_line[d.line_no] = (d.args[0], d.args[1])
     go_lines = [d.line_no for d in directives if d.verb == "go"]
+    first_go = min(go_lines) if go_lines else None
     lines = text.splitlines()
     seen: set[str] = set()
     for line_no, (instance, key) in by_line.items():
+        if first_go is not None and line_no > first_go:
+            continue  # inert line; the override is injected instead
         dotted = f"{instance}.{key}"
         if dotted in params:
             lines[line_no - 1] = (
@@ -140,7 +145,7 @@ def apply_overrides(text: str, params: Mapping[str, Any] | None) -> str:
               f"{_format_value(v)}"
               for k, v in params.items() if k not in seen]
     if inject:
-        cut = (min(go_lines) - 1) if go_lines else len(lines)
+        cut = (first_go - 1) if first_go is not None else len(lines)
         lines = lines[:cut] + inject + lines[cut:]
     return "\n".join(lines)
 

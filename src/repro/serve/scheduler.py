@@ -22,7 +22,9 @@ Two isolation rules keep concurrent jobs honest:
 
 Per-tenant observability lands on the metrics registry (schema-1 export
 via :mod:`repro.obs.export`): ``serve.queue_seconds`` /
-``serve.run_seconds`` histograms, ``serve.jobs_done`` / ``_failed`` /
+``serve.run_seconds`` histograms (a batched member observes its
+amortized share of the batch wall-clock; the raw batch time lands once
+in ``serve.batch_seconds``), ``serve.jobs_done`` / ``_failed`` /
 ``serve.cache_hits`` / ``_misses`` / ``serve.batched_jobs`` counters,
 and the batch-occupancy histogram.
 """
@@ -119,6 +121,10 @@ class Scheduler:
         self._gate = _FaultGate()
 
     # -- lifecycle --------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._threads)
+
     def start(self) -> None:
         with self._cond:
             if self._threads:
@@ -186,6 +192,10 @@ class Scheduler:
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._heap)
+
+    def queued_ids(self) -> set[str]:
+        with self._cond:
+            return {e[2] for e in self._heap}
 
     # -- worker loop ------------------------------------------------------
     def _worker(self) -> None:
@@ -335,13 +345,27 @@ class Scheduler:
             for job_id, record in misses:
                 self._run_single(job_id, record)
             return
+        if len(results) != len(misses):
+            # a demux mismatch must never strand jobs in RUNNING: treat
+            # it like any other batch failure and solve sequentially
+            _log.warning("batched solve returned %d results for %d "
+                         "jobs; falling back to sequential runs",
+                         len(results), len(misses))
+            for job_id, record in misses:
+                self._run_single(job_id, record)
+            return
         elapsed = time.perf_counter() - t0
         occupancy = len(misses)
         self.registry.histogram("serve.batch_occupancy",
                                 edges=_OCCUPANCY_EDGES).observe(occupancy)
+        # the batch wall-clock is recorded once; each member observes its
+        # amortized share so per-tenant run-time histograms stay
+        # comparable with sequential execution of the same jobs
+        self.registry.histogram("serve.batch_seconds").observe(elapsed)
+        share = elapsed / occupancy
         for (job_id, record), result in zip(misses, results):
             self.registry.histogram("serve.run_seconds",
-                                    tenant=record.tenant).observe(elapsed)
+                                    tenant=record.tenant).observe(share)
             if record.cache_key:
                 self.cache.put(record.cache_key, result, job_id=job_id,
                                batched=True)

@@ -17,10 +17,15 @@ Everything is filesystem-backed under ``root`` — no sockets, no
 daemons — so separate CLI invocations (submit now, run later, query
 after) compose through the store, and tests stay hermetic.
 
-Booting a service *recovers* the store: jobs found ``queued`` are
-re-enqueued; jobs found ``running`` (a previous process died mid-run)
-are re-queued too — the supervised runner makes re-execution safe, and
-the content cache makes it cheap when the result actually landed.
+*Starting the workers* (``autostart=True`` or an explicit
+:meth:`SimulationService.start`) first *recovers* the store: jobs found
+``queued`` are re-enqueued; jobs found ``running`` (a previous process
+died mid-run) are re-queued too — the supervised runner makes
+re-execution safe, and the content cache makes it cheap when the result
+actually landed.  A service opened with ``autostart=False`` for
+read-only access (status / result / stats / cancel) never mutates other
+jobs' states, so querying the store is safe while another process is
+executing it.
 """
 
 from __future__ import annotations
@@ -57,15 +62,30 @@ class SimulationService:
         self.scheduler = Scheduler(self.store, self.cache, workers=workers,
                                    batch_size=batch_size, classes=classes,
                                    registry=self.registry)
-        self._recover()
         if autostart:
-            self.scheduler.start()
+            self.start()
 
     # -- lifecycle --------------------------------------------------------
-    def _recover(self) -> None:
+    def start(self) -> list[str]:
+        """Recover the store, then start the worker pool.
+
+        Recovery only happens here — never on read-only access — so a
+        status/result/stats query cannot re-queue a job another process
+        is running.  Returns the recovered (re-enqueued) job ids.
+        """
+        if self.scheduler.running:  # never re-queue our own live jobs
+            return []
+        recovered = self._recover()
+        self.scheduler.start()
+        return recovered
+
+    def _recover(self) -> list[str]:
         """Re-enqueue jobs a previous process left unfinished."""
         pending: list[tuple[str, int, BatchPlan | None]] = []
+        known = self.scheduler.queued_ids()
         for record in self.store.records():
+            if record.job_id in known:  # submitted by this process
+                continue
             if record.state == J.RUNNING:
                 record = self.store.transition(
                     record.job_id, (J.RUNNING,), state=J.QUEUED,
@@ -82,6 +102,7 @@ class SimulationService:
                             self._plan(spec)))
         if pending:
             self.scheduler.enqueue_many(pending)
+        return [job_id for job_id, _, _ in pending]
 
     def close(self) -> None:
         self.scheduler.stop()
@@ -128,7 +149,7 @@ class SimulationService:
         plan = self._plan(spec)
         # fault-injected runs are experiments on the failure path, not
         # reusable results: exclude them from the cache entirely
-        key = self.cache.key(script, spec.params) \
+        key = self.cache.key(script, spec.params, nprocs=spec.nprocs) \
             if spec.use_cache and not spec.fault else ""
         record = self.store.new_job(spec)
         self.store.transition(record.job_id, (J.QUEUED,), cache_key=key,

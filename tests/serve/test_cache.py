@@ -27,6 +27,14 @@ class TestAddressing:
         other = make_cache(tmp_path, fp={**FP, "commit": "def"})
         assert other.key("go Driver", {"I.T0": 1000.0}) != base
 
+    def test_key_depends_on_nprocs(self, tmp_path):
+        # an nprocs==1 run stores one result document, a multi-rank run
+        # the per-rank list — different shapes must never share a key
+        cache = make_cache(tmp_path)
+        base = cache.key("go Driver", {"I.T0": 1000.0})
+        assert cache.key("go Driver", {"I.T0": 1000.0}, nprocs=1) == base
+        assert cache.key("go Driver", {"I.T0": 1000.0}, nprocs=2) != base
+
     def test_param_order_is_irrelevant(self, tmp_path):
         cache = make_cache(tmp_path)
         assert cache.key("x", {"A.a": 1, "B.b": 2}) == \

@@ -31,6 +31,19 @@ class TestApplyOverrides:
         i_go = lines.index("go Driver")
         assert i_param < i_go
 
+    def test_post_go_parameter_line_is_not_rewritten(self, script):
+        # a `parameter` line after the first `go` is inert, so the
+        # override must be injected before the go, not silently spent
+        # rewriting the dead line
+        post_go = script + "parameter Initializer T0 999.0\n"
+        out = apply_overrides(post_go, {"Initializer.T0": 1234.5})
+        lines = out.splitlines()
+        i_go = lines.index("go Driver")
+        i_eff = lines.index("parameter Initializer T0 1234.5")
+        assert i_eff < i_go
+        # the inert post-go line is left untouched
+        assert lines.index("parameter Initializer T0 999.0") > i_go
+
     def test_float_values_round_trip_bitwise(self, script):
         from repro.cca.script import _parse_value, parse_script
         value = 0.1 + 0.2  # not exactly representable in short decimal

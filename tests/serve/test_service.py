@@ -159,6 +159,52 @@ def test_recovery_requeues_interrupted_jobs(tmp_path, registry, script):
         svc2.close()
 
 
+def test_readonly_service_does_not_requeue_running_jobs(tmp_path,
+                                                        registry, script):
+    """Recovery is gated on start(): a service opened for status/result
+    queries must not flip another process's RUNNING job back to QUEUED
+    (which would corrupt that runner's RUNNING->DONE transition)."""
+    root = str(tmp_path / "s")
+    svc = SimulationService(root, registry=registry, autostart=False)
+    job_id = svc.submit(script)
+    svc.store.transition(job_id, (J.QUEUED,), state=J.RUNNING)
+    svc.close()
+
+    observer = SimulationService(root, registry=registry, autostart=False)
+    try:
+        assert observer.status(job_id)["state"] == J.RUNNING
+        observer.stats()
+        # still running on disk after read-only access
+        assert observer.store.get_record(job_id).state == J.RUNNING
+    finally:
+        observer.close()
+
+
+def test_batch_result_count_mismatch_falls_back(tmp_path, registry,
+                                                script, monkeypatch):
+    """A coalesced solve returning fewer results than conditions must
+    not strand jobs in RUNNING — the scheduler reruns them alone."""
+    import repro.apps.ignition0d as ig
+
+    real = ig.run_ignition0d_batch
+    monkeypatch.setattr(ig, "run_ignition0d_batch",
+                        lambda conditions, **kw: real(conditions,
+                                                     **kw)[:-1])
+    svc = SimulationService(str(tmp_path / "s"), registry=registry,
+                            batch_size=16)
+    try:
+        job_ids = svc.sweep(script, {"Initializer.T0": [1000.0, 1040.0,
+                                                        1080.0]})
+        assert svc.drain(timeout=300)
+        for job_id in job_ids:
+            status = svc.status(job_id)
+            assert status["state"] == J.DONE
+            assert status["batched"] is False  # sequential fallback
+            assert svc.result(job_id)["result"]["T_final"] > 0
+    finally:
+        svc.close()
+
+
 def test_unbatchable_grid_point_falls_back_to_sequential(service, script):
     svc = service
     # rtol differs: two singleton groups -> solved alone, still correct
