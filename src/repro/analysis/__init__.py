@@ -12,6 +12,10 @@ sharing one findings model (:mod:`repro.analysis.findings`):
   port registration/fetch/release discipline.
 * :mod:`repro.analysis.scmd_safety` — AST lint for state that aliases
   across SCMD rank-threads.
+* :mod:`repro.analysis.manifest` / :mod:`repro.analysis.contracts` —
+  declarative per-component manifests (RA40x drift pass keeps them
+  honest against the source; RA41x validates assemblies and serve
+  jobs against them).
 
 CLI::
 
@@ -30,7 +34,8 @@ import importlib.util
 import os
 from typing import Sequence, Type
 
-from repro.analysis import lifecycle, races, scmd_safety, wiring
+from repro.analysis import (contracts, lifecycle, manifest, races,
+                            scmd_safety, wiring)
 from repro.analysis.findings import (
     CODES,
     Finding,
@@ -54,7 +59,9 @@ __all__ = [
     "analyze_target",
     "analyze_targets",
     "default_targets",
+    "contracts",
     "lifecycle",
+    "manifest",
     "races",
     "scmd_safety",
     "wiring",
@@ -79,12 +86,15 @@ def analyze_python_file(path: str,
 def analyze_rc_file(path: str,
                     classes: Sequence[Type[Component]] | None = None,
                     check_races: bool = False,
+                    check_contracts: bool = False,
                     ) -> list[Finding]:
-    """Wiring analysis (and optionally the RA3xx happens-before checks)
-    of an rc-script file."""
+    """Wiring analysis (and optionally the RA3xx happens-before checks
+    and/or the RA41x manifest contract pass) of an rc-script file."""
     out = wiring.analyze_script_file(path, classes)
     if check_races:
         out += races.analyze_script_file_races(path, classes)
+    if check_contracts:
+        out += contracts.analyze_script_file_contracts(path)
     return out
 
 
@@ -105,6 +115,7 @@ def analyze_target(target: str,
                    classes: Sequence[Type[Component]] | None = None,
                    allowlist=scmd_safety.DEFAULT_ALLOWLIST,
                    check_races: bool = False,
+                   check_contracts: bool = False,
                    ) -> list[Finding]:
     """Analyze one CLI target; raises :class:`AnalysisError` when the
     target cannot be resolved.
@@ -114,9 +125,12 @@ def analyze_target(target: str,
     importable module/package name.
     """
     if target in wiring.assembly_names():
-        return wiring.analyze_assembly(target)
+        out = wiring.analyze_assembly(target)
+        if check_contracts:
+            out = out + contracts.analyze_assembly_contracts(target)
+        return out
     if os.path.isdir(target):
-        out: list[Finding] = []
+        out = []
         for dirpath, dirnames, filenames in os.walk(target):
             dirnames[:] = sorted(d for d in dirnames
                                  if not d.startswith((".", "__")))
@@ -126,15 +140,18 @@ def analyze_target(target: str,
                     out.extend(analyze_python_file(full, allowlist,
                                                    check_races))
                 elif fn.endswith(".rc"):
-                    out.extend(analyze_rc_file(full, classes, check_races))
+                    out.extend(analyze_rc_file(full, classes, check_races,
+                                               check_contracts))
         return out
     if os.path.isfile(target):
         if target.endswith(".py"):
             return analyze_python_file(target, allowlist, check_races)
-        return analyze_rc_file(target, classes, check_races)
+        return analyze_rc_file(target, classes, check_races,
+                               check_contracts)
     resolved = _module_dir(target)
     if resolved is not None:
-        return analyze_target(resolved, classes, allowlist, check_races)
+        return analyze_target(resolved, classes, allowlist, check_races,
+                              check_contracts)
     raise AnalysisError(
         f"cannot resolve target {target!r}: not an assembly name "
         f"({', '.join(wiring.assembly_names())}), file, directory, or "
@@ -149,7 +166,8 @@ def default_targets() -> list[str]:
 def analyze_targets(targets: Sequence[str] | None = None,
                     classes: Sequence[Type[Component]] | None = None,
                     allowlist=scmd_safety.DEFAULT_ALLOWLIST,
-                    check_races: bool = False) -> Report:
+                    check_races: bool = False,
+                    check_contracts: bool = False) -> Report:
     """Analyze many targets into one :class:`Report`.
 
     With no targets, covers :func:`default_targets` plus the shipped
@@ -159,11 +177,11 @@ def analyze_targets(targets: Sequence[str] | None = None,
     if targets:
         for target in targets:
             report.extend(analyze_target(target, classes, allowlist,
-                                         check_races))
+                                         check_races, check_contracts))
         return report
     for target in default_targets():
         report.extend(analyze_target(target, classes, allowlist,
-                                     check_races))
+                                     check_races, check_contracts))
     from repro.apps.assemblies import IGNITION0D_SCRIPT
 
     report.extend(wiring.analyze_script(
@@ -171,4 +189,7 @@ def analyze_targets(targets: Sequence[str] | None = None,
     if check_races:
         report.extend(races.analyze_script_races(
             IGNITION0D_SCRIPT, classes, path="<IGNITION0D_SCRIPT>"))
+    if check_contracts:
+        report.extend(contracts.analyze_script_contracts(
+            IGNITION0D_SCRIPT, path="<IGNITION0D_SCRIPT>"))
     return report

@@ -21,6 +21,27 @@ from repro.util.logging import get_logger
 _log = get_logger("cca.framework")
 
 
+def _warn_unknown_parameter(class_name: str, instance_name: str,
+                            key: str) -> None:
+    """Warn when a manifest-covered class gets a key it never reads.
+
+    Lazy import: :mod:`repro.analysis.manifest` reads the committed
+    manifests exactly once; classes without a manifest (ad-hoc test
+    components) and open-parameter database components never warn.
+    """
+    try:
+        from repro.analysis.manifest import known_parameter
+    except Exception:  # pragma: no cover - analysis layer unavailable
+        return
+    if known_parameter(class_name, key) is False:
+        import warnings
+
+        warnings.warn(
+            f"parameter {key!r} set on {instance_name!r} "
+            f"({class_name}) is not declared in its manifest and will "
+            f"never be read", UserWarning, stacklevel=3)
+
+
 class ComponentRegistry:
     """Maps class names to component classes ("the repository")."""
 
@@ -213,8 +234,18 @@ class Framework:
     # -- parameters & execution ---------------------------------------------------
     def set_parameter(self, instance_name: str, key: str,
                       value: Any) -> None:
-        """The rc ``parameter`` directive."""
-        self.services_of(instance_name).parameters.set(key, value)
+        """The rc ``parameter`` directive.
+
+        A typo'd key would be silently stored and never read; when the
+        instance's class ships a manifest declaring its parameters, an
+        unknown key raises a :class:`UserWarning` at set time (the
+        runtime analog of the static RA411 contract check).
+        """
+        srv = self.services_of(instance_name)
+        _warn_unknown_parameter(
+            type(self._components[instance_name]).__name__,
+            instance_name, key)
+        srv.parameters.set(key, value)
 
     def go(self, instance_name: str, port_name: str = "go") -> Any:
         """Invoke a component's GoPort — the application entry point."""

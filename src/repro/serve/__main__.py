@@ -71,7 +71,9 @@ def _service(args: argparse.Namespace, *,
              autostart: bool) -> SimulationService:
     return SimulationService(_root(args), workers=getattr(args, "workers", 2),
                              batch_size=getattr(args, "batch_size", 8),
-                             autostart=autostart)
+                             autostart=autostart,
+                             admission=not getattr(args, "no_admission",
+                                                   False))
 
 
 def _submit_kwargs(args: argparse.Namespace) -> dict[str, Any]:
@@ -186,6 +188,9 @@ def _add_submit_options(p: argparse.ArgumentParser) -> None:
                    help="fault-injection spec (key=value[,key=value...])")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed result cache")
+    p.add_argument("--no-admission", action="store_true",
+                   help="skip the RA41x static admission gate (contract "
+                        "pass over script + overrides at submit)")
     p.add_argument("--run", action="store_true",
                    help="execute immediately instead of only queueing")
     p.add_argument("--workers", type=int, default=2)

@@ -202,6 +202,11 @@ class JobRecord:
     cache_key: str = ""
     #: batch-group key (jobs sharing it may coalesce); "" = not batchable
     signature: str = ""
+    #: failed static admission (RA41x contract errors) — never ran
+    rejected: bool = False
+    #: admission findings (Finding.to_dict() docs): all of them for a
+    #: rejected job, warnings-only for an admitted one
+    findings: list = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         return {"schema": JOB_SCHEMA, **asdict(self)}
@@ -211,7 +216,8 @@ class JobRecord:
         fields = {k: doc[k] for k in (
             "job_id", "tenant", "priority", "state", "created", "started",
             "finished", "error", "cache_hit", "batched", "batch_size",
-            "attempts", "restarts", "cache_key", "signature") if k in doc}
+            "attempts", "restarts", "cache_key", "signature", "rejected",
+            "findings") if k in doc}
         return JobRecord(**fields)
 
 

@@ -17,6 +17,18 @@ Everything is filesystem-backed under ``root`` — no sockets, no
 daemons — so separate CLI invocations (submit now, run later, query
 after) compose through the store, and tests stay hermetic.
 
+*Admission control*: before a job is enqueued, the RA41x contract pass
+(:func:`repro.analysis.contracts.check_job`) statically validates the
+script and the overrides against the committed component manifests.
+Error findings (unknown parameter, out-of-range value, wrong type,
+missing required parameter, unconnected required port) fail the job
+instantly — the findings land on the job record, a per-tenant
+``serve.rejected`` counter ticks, and no worker ever sees it.
+Warning-severity findings are recorded on the job and it proceeds.
+Admitted override values are coerced to their declared manifest types,
+so ``"1100"`` and ``1100.0`` share one cache address.  Pass
+``admission=False`` to restore the old trust-the-caller behavior.
+
 *Starting the workers* (``autostart=True`` or an explicit
 :meth:`SimulationService.start`) first *recovers* the store: jobs found
 ``queued`` are re-enqueued; jobs found ``running`` (a previous process
@@ -35,6 +47,8 @@ import os
 import time
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.analysis.contracts import check_job, coerce_job_params
+from repro.analysis.findings import Severity
 from repro.errors import ServeError
 from repro.obs.export import metrics_payload
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -52,8 +66,12 @@ class SimulationService:
                  classes: Iterable | None = None,
                  registry: MetricsRegistry | None = None,
                  fingerprint: Mapping[str, Any] | None = None,
-                 autostart: bool = True) -> None:
+                 autostart: bool = True, admission: bool = True) -> None:
         self.root = root
+        #: static admission control: run the RA41x contract pass over
+        #: (script + overrides) at submit; error findings fail the job
+        #: instantly with the findings on the record — no worker runs.
+        self.admission = bool(admission)
         os.makedirs(root, exist_ok=True)
         self.store = JobStore(os.path.join(root, "jobs"))
         self.cache = ResultCache(os.path.join(root, "cache"),
@@ -141,11 +159,36 @@ class SimulationService:
     def _submit_one(self, script: str, *, params, tenant, priority, nprocs,
                     retries, backoff, fault, use_cache) -> tuple[
                         str, tuple[str, int, BatchPlan | None] | None]:
-        spec = JobSpec(script=script, params=J.canonical_params(params),
+        overrides = J.canonical_params(params)
+        findings: list = []
+        errors: list = []
+        if self.admission:
+            findings = check_job(script, overrides)
+            errors = [f for f in findings if f.severity >= Severity.ERROR]
+            if not errors:
+                # coerce override values to their declared manifest
+                # types so "1100" and 1100.0 key the cache identically
+                overrides = coerce_job_params(script, overrides)
+        spec = JobSpec(script=script, params=overrides,
                        tenant=str(tenant), priority=int(priority),
                        nprocs=int(nprocs), retries=int(retries),
                        backoff=float(backoff), fault=str(fault or ""),
                        use_cache=bool(use_cache))
+        if errors:
+            record = self.store.new_job(spec)
+            now = time.time()
+            first = errors[0]
+            self.store.transition(
+                record.job_id, (J.QUEUED,), state=J.FAILED, started=now,
+                finished=now, rejected=True,
+                findings=[f.to_dict() for f in findings],
+                error=(f"admission: {len(errors)} contract error(s); "
+                       f"first: {first.code} {first.message}"))
+            self.registry.counter("serve.jobs_submitted",
+                                  tenant=spec.tenant).inc()
+            self.registry.counter("serve.rejected",
+                                  tenant=spec.tenant).inc()
+            return record.job_id, None
         plan = self._plan(spec)
         # fault-injected runs are experiments on the failure path, not
         # reusable results: exclude them from the cache entirely
@@ -153,7 +196,8 @@ class SimulationService:
             if spec.use_cache and not spec.fault else ""
         record = self.store.new_job(spec)
         self.store.transition(record.job_id, (J.QUEUED,), cache_key=key,
-                              signature=plan.group_key if plan else "")
+                              signature=plan.group_key if plan else "",
+                              findings=[f.to_dict() for f in findings])
         self.registry.counter("serve.jobs_submitted", tenant=spec.tenant).inc()
         entry = self.cache.get(key) if key else None
         if entry is not None:
@@ -239,8 +283,10 @@ class SimulationService:
             by_state[r.state] = by_state.get(r.state, 0) + 1
             t = tenants.setdefault(r.tenant, {
                 "submitted": 0, "done": 0, "failed": 0, "cancelled": 0,
-                "cache_hits": 0, "batched": 0})
+                "rejected": 0, "cache_hits": 0, "batched": 0})
             t["submitted"] += 1
+            if r.rejected:
+                t["rejected"] += 1
             if r.state == J.DONE:
                 t["done"] += 1
             elif r.state == J.FAILED:

@@ -1,0 +1,44 @@
+"""Fixture component for the RA40x manifest drift tests.
+
+One class exercising every extraction surface: typed ports, guarded and
+unguarded uses fetches, typed parameter reads (accessor-, cast- and
+default-inferred), checkpoint state, and an scmd-shared class attribute.
+"""
+
+from repro.cca.component import Component
+from repro.cca.port import Port
+
+
+class _OutPort(Port):
+    def __init__(self, owner):
+        self.owner = owner
+
+    def emit(self):
+        gain = float(self.owner.services.get_parameter("gain", 1.0))
+        return gain
+
+
+class ContractWidget(Component):
+    cache = {}  # scmd: shared — deliberate cross-rank memo table
+
+    def set_services(self, services) -> None:
+        self.services = services
+        services.register_uses_port("src", "OutPort")
+        services.register_uses_port("sink", "OutPort")
+        services.add_provides_port(_OutPort(self), "out")
+        self.level = 0
+
+    def run(self) -> float:
+        mode = self.services.get_parameter("mode", "fast")
+        steps = self.services.parameters.get_int("steps", 4)
+        port = self.services.get_port("src")  # unguarded: required
+        if self.services.is_connected("sink"):
+            self.services.get_port("sink")
+        self.level += steps
+        return port.emit() if mode == "fast" else 0.0
+
+    def checkpoint_state(self) -> dict:
+        return {"level": self.level}
+
+    def restore_state(self, state: dict) -> None:
+        self.level = state["level"]

@@ -107,3 +107,82 @@ def test_clean_target_exits_0_in_both_formats(capsys):
     assert main(["--races", "--format", "json", target]) == 0
     doc = json.loads(capsys.readouterr().out)
     assert doc["counts"]["error"] == 0
+
+
+# ----------------------------------------------------------- --contracts
+def test_contracts_flag_gates_seeded_fixture(capsys):
+    target = str(FIXTURES / "bad_contracts.rc")
+    assert main(["--contracts", target]) == 1
+    out = capsys.readouterr().out
+    assert "RA412" in out and "RA411" in out and "RA413" in out
+    # without --contracts the same script passes the wiring-only gate
+    assert main([target]) == 0
+    assert "RA412" not in capsys.readouterr().out
+
+
+def test_contracts_with_races_json(capsys):
+    target = str(FIXTURES / "bad_contracts.rc")
+    assert main(["--contracts", "--races", "--format", "json",
+                 target]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["error"] == 3
+    found = {f["code"] for f in doc["findings"]}
+    assert {"RA411", "RA412", "RA413", "RA416"} <= found
+
+
+def test_contracts_strict_gates_the_ra416_warning(capsys):
+    # drop the three error lines: only the RA416 warning remains
+    text = (FIXTURES / "bad_contracts.rc").read_text()
+    kept = [ln for ln in text.splitlines()
+            if "9999999" not in ln and "bogus" not in ln
+            and "h3-air" not in ln]
+    import pathlib
+    import tempfile
+    with tempfile.TemporaryDirectory() as td:
+        rc = pathlib.Path(td) / "warn_only.rc"
+        rc.write_text("\n".join(kept) + "\n")
+        assert main(["--contracts", str(rc)]) == 0
+        assert main(["--contracts", "--strict", str(rc)]) == 1
+
+
+def test_contracts_default_surface_is_clean(capsys):
+    assert main(["--contracts", "--races", "--strict"]) == 0
+
+
+def test_contracts_unresolvable_target_exits_2(capsys):
+    assert main(["--contracts", "no/such/thing.rc"]) == 2
+    assert "cannot resolve target" in capsys.readouterr().err
+
+
+# ------------------------------------------------------ manifest command
+def test_manifest_check_committed_tree_clean(capsys):
+    assert main(["manifest", "check"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_manifest_check_json(capsys):
+    assert main(["manifest", "check", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["error"] == 0
+
+
+def test_manifest_check_empty_dir_fails(tmp_path, capsys):
+    assert main(["manifest", "check", "--dir", str(tmp_path)]) == 1
+    assert "RA406" in capsys.readouterr().out
+
+
+def test_manifest_emit_writes_and_is_idempotent(tmp_path, capsys):
+    assert main(["manifest", "emit", "--dir", str(tmp_path),
+                 "Initializer", "CvodeComponent"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 2
+    first = {p: open(p).read() for p in out}
+    assert main(["manifest", "emit", "--dir", str(tmp_path),
+                 "Initializer", "CvodeComponent"]) == 0
+    capsys.readouterr()
+    assert {p: open(p).read() for p in first} == first
+
+
+def test_manifest_emit_unknown_class_exits_2(capsys):
+    assert main(["manifest", "emit", "NoSuchComponent"]) == 2
+    assert "unknown component class" in capsys.readouterr().err

@@ -60,3 +60,37 @@ def test_examples_rc_matches_shipped_script_semantics():
     const_directives = [
         (d.verb, d.args) for d in parse_script(IGNITION0D_SCRIPT)]
     assert file_directives == const_directives
+
+
+# ----------------------------------------------------- RA41x contracts
+@pytest.mark.parametrize(
+    "path", [p for p in EXAMPLES if p.suffix == ".rc"],
+    ids=lambda p: p.name)
+def test_every_example_rc_passes_contracts_clean(path):
+    from repro.analysis import contracts
+
+    findings = contracts.analyze_script_file_contracts(str(path))
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+@pytest.mark.parametrize("name", ["ignition0d", "reaction_diffusion",
+                                  "shock_interface"])
+def test_every_paper_assembly_passes_contracts_clean(name):
+    from repro.analysis import contracts
+
+    findings = contracts.analyze_assembly_contracts(name)
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_shipped_script_text_passes_contracts_clean():
+    from repro.analysis import contracts
+
+    assert contracts.analyze_script_contracts(IGNITION0D_SCRIPT) == []
+
+
+@pytest.mark.parametrize(
+    "path", [p for p in EXAMPLES if p.suffix in (".py", ".rc")],
+    ids=lambda p: p.name)
+def test_every_example_analyzes_clean_with_contracts(path):
+    report = Report(analyze_target(str(path), check_contracts=True))
+    assert report.at_least(Severity.WARNING) == [], report.format_text()
