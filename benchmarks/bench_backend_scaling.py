@@ -1,0 +1,47 @@
+"""Backend A/B — threads vs multiprocessing wall-clock on the Table 5
+reaction-diffusion workload.
+
+Claims checked every run: both backends produce bit-identical physics,
+and the recorded ``mp_over_threads`` ratio is finite and positive.  The
+*speedup* claim is host-conditional — mp only beats threads when there
+is more than one core to escape the GIL onto — so it is asserted only
+when the host actually has the cores, and the honest core count rides
+in the ledger either way.
+"""
+
+import os
+
+from repro.bench import run_backend_ab, save_json, save_report
+
+
+def test_backend_ab_wall_clock(benchmark):
+    result = benchmark.pedantic(run_backend_ab, rounds=1, iterations=1)
+    path = save_report("backend_scaling", result["report"])
+    json_path = save_json("backend_scaling", {
+        "workload": result["workload"],
+        "cores": result["cores"],
+        "results": result["results"],
+        "mp_over_threads": result["mp_over_threads"],
+        "speedup": result["speedup"],
+    }, metrics={
+        # KPI (lower = better): mp wall-clock relative to threads on
+        # the same host — the regression gate's history is host-matched
+        "mp_over_threads": result["mp_over_threads"],
+    })
+    benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
+
+    assert result["mp_over_threads"] > 0.0
+    for backend in ("threads", "mp"):
+        assert result["results"][backend]["best"] > 0.0
+    # the equivalence claim is asserted inside run_backend_ab (it raises
+    # on any T_max mismatch); here we only re-state the ledger shape
+    assert result["T_max"] > 0.0
+    cores = result["cores"]
+    nprocs = result["workload"]["nprocs"]
+    if cores >= 2 and os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
+        # multi-core CI: real parallelism must show up as wall-clock
+        # speedup (the ISSUE's 1.5x floor needs >= 2 usable cores)
+        assert result["speedup"] >= 1.5, (
+            f"expected >=1.5x mp speedup on {cores} cores / "
+            f"{nprocs} ranks, measured x{result['speedup']:.2f}")

@@ -19,6 +19,9 @@ file before a single step runs:
   instance the ``go`` directive reaches.
 * ``RA418`` — a connection pairing incompatible manifest port types
   (catches what RA006 cannot when sandbox introspection fails).
+* ``RA419`` — a serve job requesting an execution backend the
+  :mod:`repro.exec` registry does not know (with a did-you-mean
+  suggestion from the registry itself).
 
 Everything here is manifest-driven and static: no component is
 instantiated, so the pass is cheap enough to run inline on every
@@ -362,18 +365,39 @@ def _override_findings(model: AssemblyModel,
     return out
 
 
+def check_backend(backend: str, path: str = "<job>") -> list[Finding]:
+    """RA419: the job's execution backend must exist in the
+    :mod:`repro.exec` registry.  The finding's message is the registry's
+    own error — including its did-you-mean suggestion (``"mp2"`` ->
+    ``did you mean 'mp'?``) and the list of registered names."""
+    if not backend:
+        return []
+    from repro.errors import MPIError
+    from repro.exec import resolve_name
+    try:
+        resolve_name(backend)
+    except MPIError as exc:
+        return [finding("RA419", str(exc), path=path,
+                        context=f"backend={backend}")]
+    return []
+
+
 def check_job(script: str, params: Mapping[str, Any] | None = None,
               *, manifests: Mapping[str, ComponentManifest] | None = None,
-              path: str = "<job>") -> list[Finding]:
+              path: str = "<job>", backend: str = "") -> list[Finding]:
     """The serve admission gate: RA41x over (script + overrides).
 
     Override keys count as "set" for the RA415 required-parameter check.
     Syntax errors are included (an unparseable script must be rejected
-    at submit, not discovered by a worker).
+    at submit, not discovered by a worker).  ``backend`` (the job's
+    execution-backend request, "" = service default) is validated
+    against the :mod:`repro.exec` registry (RA419).
     """
     manifests = manifests if manifests is not None else load_manifests()
     model = model_from_script(script, path)
-    return _check_job_model(model, manifests, dict(params or {}), path)
+    out = _check_job_model(model, manifests, dict(params or {}), path)
+    out.extend(check_backend(backend, path))
+    return out
 
 
 def _check_job_model(model: AssemblyModel,

@@ -128,6 +128,8 @@ CODES: dict[str, tuple[Severity, str]] = {
               "required uses port of a go-reachable instance unconnected"),
     "RA418": (Severity.ERROR,
               "connection pairs incompatible manifest port types"),
+    "RA419": (Severity.ERROR,
+              "unknown execution backend for the job"),
 }
 
 

@@ -19,6 +19,7 @@ shapes under comparison are preserved.
 """
 
 from repro.bench import trajectory
+from repro.bench.backends import run_backend_ab
 from repro.bench.reporting import format_table, save_json, save_report
 from repro.bench.overhead import run_table4, run_serial_workload
 from repro.bench.scaling import run_table5, run_fig8, run_fig9
@@ -30,6 +31,7 @@ __all__ = [
     "save_json",
     "save_report",
     "trajectory",
+    "run_backend_ab",
     "run_table4",
     "run_serial_workload",
     "run_table5",

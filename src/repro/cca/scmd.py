@@ -27,8 +27,9 @@ def run_scmd(
     classes: Iterable[Type[Component]] = (),
     machine: MachineModel = LOCALHOST,
     return_clocks: bool = False,
+    backend: str | None = None,
 ) -> list[Any]:
-    """Run an assembly on ``nprocs`` rank-threads.
+    """Run an assembly on ``nprocs`` ranks.
 
     Parameters
     ----------
@@ -42,6 +43,9 @@ def run_scmd(
         Virtual-time machine model for the communicator.
     return_clocks:
         When True each per-rank result is ``(value, virtual_seconds)``.
+    backend:
+        Execution backend name (see :mod:`repro.exec`); ``None`` defers
+        to ``REPRO_BACKEND``, then the ``threads`` default.
     """
     class_list = list(classes)
 
@@ -57,4 +61,4 @@ def run_scmd(
         return results[0] if len(results) == 1 else results
 
     return mpirun(nprocs, main, machine=machine,
-                  return_clocks=return_clocks)
+                  return_clocks=return_clocks, backend=backend)

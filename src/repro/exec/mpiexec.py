@@ -1,0 +1,166 @@
+"""The ``mpiexec`` backend: ride a real MPI launch via mpi4py.
+
+The thinnest member of the registry, and deliberately so — it is the
+hydroFlow ``produtil.mpi_impl`` move: when the toolkit is itself started
+under a real launcher (``mpiexec -n P python app.py``), every process
+already *is* a rank, so ``run`` simply wraps this process's
+``MPI.COMM_WORLD`` in an adapter and calls ``main`` once.  No forking,
+no queues; the cluster's MPI does the transport and the "virtual" clock
+is real elapsed time.
+
+This backend is **optional**: mpi4py is not a dependency of the
+toolkit.  :meth:`MpiexecBackend.available` reports exactly what is
+missing, and :func:`repro.mpi.launcher.mpirun` raises
+:class:`~repro.exec.base.BackendUnavailableError` with that reason and
+the list of backends that *do* work — selecting it can never fail
+silently or half-run.
+
+The adapter maps the toolkit's lowercase-object API onto mpi4py's
+lowercase methods one-to-one; ``nprocs`` must equal the launched world
+size (a mismatch is a configuration error, reported as such).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import MPIError
+from repro.exec.base import ExecBackend
+from repro.mpi.perfmodel import MachineModel, LOCALHOST
+
+
+def _probe_mpi4py():
+    try:
+        from mpi4py import MPI  # noqa: PLC0415 - optional dependency
+        return MPI
+    except ImportError:
+        return None
+
+
+class _Mpi4pyComm:
+    """Adapter: the toolkit's Comm surface over an mpi4py communicator."""
+
+    def __init__(self, mpicomm, machine: MachineModel) -> None:
+        self._c = mpicomm
+        self.rank = mpicomm.Get_rank()
+        self.size = mpicomm.Get_size()
+        self.global_rank = self.rank
+        self.machine = machine
+        self._t0 = time.perf_counter()
+
+    # -- virtual time (elapsed wall-clock under a real launcher) ---------
+    @property
+    def clock(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def reset_clock(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise MPIError("cannot advance the clock backwards")
+        self._t0 -= seconds
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._c.send(obj, dest=dest, tag=max(tag, 0))
+
+    def isend(self, obj: Any, dest: int, tag: int = 0):
+        return self._c.isend(obj, dest=dest, tag=max(tag, 0))
+
+    def recv(self, source: int = -1, tag: int = -1, status=None) -> Any:
+        from mpi4py import MPI
+        src = MPI.ANY_SOURCE if source < 0 else source
+        tg = MPI.ANY_TAG if tag < 0 else tag
+        st = MPI.Status()
+        obj = self._c.recv(source=src, tag=tg, status=st)
+        if status is not None:
+            status.source = st.Get_source()
+            status.tag = st.Get_tag()
+            status.nbytes = st.Get_count(MPI.BYTE)
+        return obj
+
+    def sendrecv(self, sendobj: Any, dest: int, sendtag: int = 0,
+                 source: int = -1, recvtag: int = -1, status=None) -> Any:
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag, status)
+
+    # -- collectives ------------------------------------------------------
+    def barrier(self) -> None:
+        self._c.barrier()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return self._c.bcast(obj, root=root)
+
+    def reduce(self, obj: Any, op=None, root: int = 0) -> Any:
+        return self._c.reduce(obj, op=self._op(op), root=root)
+
+    def allreduce(self, obj: Any, op=None) -> Any:
+        return self._c.allreduce(obj, op=self._op(op))
+
+    def gather(self, obj: Any, root: int = 0):
+        return self._c.gather(obj, root=root)
+
+    def allgather(self, obj: Any):
+        return self._c.allgather(obj)
+
+    def scatter(self, objs, root: int = 0):
+        return self._c.scatter(objs, root=root)
+
+    def alltoall(self, objs):
+        return self._c.alltoall(objs)
+
+    @staticmethod
+    def _op(op):
+        from mpi4py import MPI
+        from repro.mpi.comm import Op
+        table = {None: MPI.SUM, Op.SUM: MPI.SUM, Op.PROD: MPI.PROD,
+                 Op.MIN: MPI.MIN, Op.MAX: MPI.MAX, Op.LOR: MPI.LOR,
+                 Op.LAND: MPI.LAND}
+        return table[op]
+
+    # -- communicator management -----------------------------------------
+    def split(self, color: int, key: int | None = None) -> "_Mpi4pyComm":
+        key = self.rank if key is None else key
+        return _Mpi4pyComm(self._c.Split(color, key), self.machine)
+
+    def dup(self) -> "_Mpi4pyComm":
+        return _Mpi4pyComm(self._c.Dup(), self.machine)
+
+    def abort(self, reason: str = "user abort") -> None:
+        self._c.Abort(1)
+
+
+class MpiexecBackend(ExecBackend):
+    """Run under an external ``mpiexec`` launch via mpi4py."""
+
+    name = "mpiexec"
+    description = ("external 'mpiexec -n P python ...' launch via mpi4py "
+                   "(optional)")
+
+    def available(self) -> tuple[bool, str]:
+        if _probe_mpi4py() is None:
+            return False, ("mpi4py is not installed; install it and start "
+                           "the program under 'mpiexec -n <P> python ...'")
+        return True, ""
+
+    def run(self, nprocs: int, main: Callable[..., Any],
+            args: Sequence[Any] = (), machine: MachineModel = LOCALHOST,
+            return_clocks: bool = False) -> list[Any]:
+        MPI = _probe_mpi4py()
+        if MPI is None:  # require_available() normally catches this first
+            self.require_available()
+        world = MPI.COMM_WORLD
+        if world.Get_size() != nprocs:
+            raise MPIError(
+                f"mpiexec backend: this process was launched with "
+                f"{world.Get_size()} rank(s) but the run asked for "
+                f"{nprocs} — start it as 'mpiexec -n {nprocs} python ...'")
+        comm = _Mpi4pyComm(world, machine)
+        comm.reset_clock()
+        value = main(comm, *args)
+        pairs = world.allgather((value, comm.clock))
+        if return_clocks:
+            return pairs
+        return [v for v, _ in pairs]

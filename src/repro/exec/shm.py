@@ -1,0 +1,257 @@
+"""Shared-memory array plumbing for the ``mp`` backend.
+
+Two jobs, one mechanism (POSIX shared memory via
+:mod:`multiprocessing.shared_memory`):
+
+**Message transport** (:func:`encode_message` / :func:`decode_message`).
+Messages are pickled with protocol 5; every contiguous array buffer is
+collected out-of-band and packed into *one* shared segment per message.
+The receiver maps the segment and reconstructs the arrays as zero-copy
+views over it — the only copy in the whole exchange is the sender's
+packing copy, which is exactly the isolation copy the ``threads``
+backend's ``_isolate`` makes anyway.  Compared to shipping arrays
+through a pipe (serialize, kernel round-trip, deserialize) this removes
+two copies and the per-byte syscall traffic from ghost exchange,
+prolong/restrict and array reductions.  Small messages (buffer payload
+under :func:`min_shm_bytes`) stay in-band: a segment per tiny message
+would cost more in ``shm_open`` calls than it saves.
+
+**Patch storage** (:func:`shm_allocator` +
+:func:`repro.samr.dataobject.set_array_allocator`).  Worker ranks of the
+``mp`` backend allocate SAMR patch arrays inside shared segments
+(:class:`ShmArray`), so a rank's field state is visible to sibling
+processes at a known name — received ghost regions are written straight
+into shared storage, and checkpoint/diagnostic consumers can map a
+rank's patches without a pipe round-trip.
+
+Lifetime discipline (one creator, exactly one consumer per message
+segment): the sender closes its mapping right after packing; the
+receiver unlinks the name immediately after attaching, so the kernel
+frees the pages as soon as the reconstructed arrays die.  The attached
+mapping itself is kept alive by the arrays' buffer chain (ndarray ->
+memoryview -> mmap); the now-redundant segment file descriptor is
+closed eagerly (mmap holds its own dup) so a long run cannot exhaust
+fds.  Segments stranded by an aborted world are reclaimed by the
+``multiprocessing`` resource tracker at interpreter exit — the ``mp``
+backend starts the tracker *before* forking so every worker shares one
+tracker process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+#: in-band fallback threshold: messages whose out-of-band buffer payload
+#: totals fewer bytes than this ride the pipe as a plain pickle.
+DEFAULT_MIN_SHM_BYTES = 4096
+
+
+def min_shm_bytes() -> int:
+    """Shared-segment threshold (``REPRO_SHM_MIN_BYTES`` overrides)."""
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES", "").strip()
+    try:
+        return int(raw) if raw else DEFAULT_MIN_SHM_BYTES
+    except ValueError:
+        return DEFAULT_MIN_SHM_BYTES
+
+
+def _detach(seg: shared_memory.SharedMemory) -> None:
+    """Hand the segment's mapping over to its exported buffers.
+
+    After this the ``SharedMemory`` object is inert: its fd is closed
+    (``mmap`` dups the descriptor at map time, so the object's own fd is
+    pure overhead — and would otherwise leak per message) and its
+    ``close``/``__del__`` become no-ops, because a mapping exported to
+    NumPy views cannot be closed explicitly (BufferError) and the
+    attempt would print "Exception ignored" noise at gc time.  The mmap
+    itself stays alive exactly as long as the views' buffer chain does.
+    """
+    fd = getattr(seg, "_fd", -1)
+    if fd >= 0:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        seg._fd = -1
+    seg._buf = None
+    seg._mmap = None
+
+
+#: live allocator-owned segments of this process, by name — so a worker
+#: can unlink everything explicitly before ``os._exit`` (which skips
+#: finalizers and would otherwise leave the resource tracker muttering
+#: about "leaked" segments at shutdown).
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def release_owned() -> None:
+    """Unlink every still-live allocator segment (worker shutdown path).
+
+    The arrays over these segments may still exist; their mappings stay
+    valid — only the names are released so the kernel can reclaim the
+    pages once the process dies.
+    """
+    for name, seg in list(_OWNED.items()):
+        _OWNED.pop(name, None)
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        _detach(seg)
+
+
+class _SegmentHolder:
+    """Keeps one owned segment alive; unlinks it when the last array
+    referencing it dies (via :func:`weakref.finalize`)."""
+
+    def __init__(self, seg: shared_memory.SharedMemory) -> None:
+        self.seg = seg
+        self.name = seg.name
+        _OWNED[seg.name] = seg
+        weakref.finalize(self, _reclaim, seg)
+
+
+def _reclaim(seg: shared_memory.SharedMemory) -> None:
+    # NB: keyed by the *reported* name (``seg.name``) — on POSIX the
+    # raw ``seg._name`` carries a leading slash and would never match.
+    if _OWNED.pop(seg.name, None) is None \
+            and getattr(seg, "_mmap", None) is None:
+        return  # already released explicitly via release_owned()
+    try:
+        seg.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+    try:
+        seg.close()
+    except BufferError:
+        # a straggler view is mid-teardown: quiesce the object and let
+        # the mapping close with the buffer chain
+        _detach(seg)
+
+
+class ShmArray(np.ndarray):
+    """ndarray whose buffer lives in a shared-memory segment.
+
+    Behaves exactly like ``ndarray`` (views propagate the segment
+    reference; pickling plain-ifies to a normal in-band array).  The
+    backing segment is unlinked automatically once the last view dies.
+    """
+
+    _segment: _SegmentHolder | None = None
+
+    def __array_finalize__(self, obj: Any) -> None:
+        self._segment = getattr(obj, "_segment", None)
+
+    def __reduce__(self):
+        # pickle as a plain ndarray: the segment is process-local state
+        return np.asarray(self).copy().__reduce__()
+
+    @property
+    def segment_name(self) -> str | None:
+        """The backing segment's name, or None for a detached copy."""
+        return self._segment.name if self._segment is not None else None
+
+
+def shm_empty(shape: tuple[int, ...], dtype: Any = np.float64) -> ShmArray:
+    """A new uninitialized :class:`ShmArray` of ``shape``/``dtype``."""
+    dtype = np.dtype(dtype)
+    nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    holder = _SegmentHolder(seg)
+    arr = np.frombuffer(seg.buf, dtype=dtype, count=int(np.prod(shape)))
+    arr = arr.reshape(shape).view(ShmArray)
+    arr._segment = holder
+    return arr
+
+
+def shm_full(shape: tuple[int, ...], fill: float,
+             dtype: Any = np.float64) -> ShmArray:
+    """A new :class:`ShmArray` filled with ``fill`` — signature-matched
+    to :func:`repro.samr.dataobject.set_array_allocator`."""
+    arr = shm_empty(shape, dtype)
+    arr.fill(fill)
+    return arr
+
+
+def shm_allocator(shape: tuple[int, ...], fill: float,
+                  dtype: Any = np.float64) -> np.ndarray:
+    """The allocator the ``mp`` worker installs for SAMR patch storage."""
+    return shm_full(shape, fill, dtype)
+
+
+# ---------------------------------------------------------------- messages
+def encode_message(obj: Any) -> tuple[Any, int]:
+    """``(envelope, nbytes)`` for one cross-process message.
+
+    The envelope is either ``("pickle", blob)`` or ``("shm", pickle5,
+    segment_name, [(offset, nbytes), ...])``.  ``nbytes`` counts the
+    full payload (pickle stream + array buffers) and feeds the machine
+    model's alpha-beta cost, mirroring ``_isolate`` on the threads path.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    try:
+        data = pickle.dumps(obj, protocol=5,
+                            buffer_callback=buffers.append)
+        views = [b.raw() for b in buffers]
+    except (pickle.PicklingError, BufferError):
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return ("pickle", blob), len(blob)
+    total = sum(v.nbytes for v in views)
+    if not views or total < min_shm_bytes():
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return ("pickle", blob), len(blob)
+    seg = shared_memory.SharedMemory(create=True, size=total)
+    layout: list[tuple[int, int]] = []
+    pos = 0
+    for view in views:
+        nb = view.nbytes
+        seg.buf[pos:pos + nb] = view
+        layout.append((pos, nb))
+        pos += nb
+    name = seg.name
+    for b in buffers:
+        b.release()
+    seg.close()  # the receiver owns (and unlinks) the segment from here
+    return ("shm", data, name, layout), len(data) + total
+
+
+def discard_message(envelope: Any) -> None:
+    """Free an envelope that will never be decoded (a dropped send)."""
+    if not envelope or envelope[0] != "shm":
+        return
+    name = envelope[2]
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    seg.close()
+    try:
+        seg.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+def decode_message(envelope: Any) -> Any:
+    """Reverse of :func:`encode_message` (zero-copy for the shm form)."""
+    kind = envelope[0]
+    if kind == "pickle":
+        return pickle.loads(envelope[1])
+    _, data, name, layout = envelope
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        seg.unlink()  # pages live until the mapping (the arrays) dies
+    except (FileNotFoundError, OSError):
+        pass
+    base = seg.buf
+    _detach(seg)
+    bufs = [base[pos:pos + nb] for pos, nb in layout]
+    return pickle.loads(data, buffers=bufs)
+
+
+Allocator = Callable[[tuple[int, ...], float, Any], np.ndarray]

@@ -37,6 +37,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import CommAbortedError, MPIError
+from repro.mpi.collectives import CollectiveMixin
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_registry as _obs_registry
@@ -237,13 +238,15 @@ class Request:
         return False
 
 
-class Comm:
-    """One rank's view of a communicator.
+class Comm(CollectiveMixin):
+    """One rank's view of a communicator (the ``threads`` backend).
 
     The default communicator (``comm_id == 0``) is the world communicator
     handed to the SCMD program by :func:`repro.mpi.launcher.mpirun`;
     :meth:`split` and :meth:`dup` derive scoped communicators (the paper's
-    component *cohorts*).
+    component *cohorts*).  The collective front-ends come from
+    :class:`~repro.mpi.collectives.CollectiveMixin`; this class provides
+    the in-process condition-variable rendezvous behind them.
     """
 
     def __init__(self, world: World, comm_id: int, rank: int, size: int,
@@ -255,6 +258,11 @@ class Comm:
         self.global_rank = global_rank
         self._coll_seq = 0
         self._state = world.rank_states[global_rank]
+
+    @property
+    def machine(self) -> MachineModel:
+        """The machine model charging this comm's communication costs."""
+        return self.world.machine
 
     # -- virtual time ----------------------------------------------------------
     def _sync(self) -> None:
@@ -440,114 +448,8 @@ class Comm:
                                     rank=self.global_rank).inc()
         return slot.result
 
-    def barrier(self) -> None:
-        """Synchronize all members."""
-        machine, size = self.world.machine, self.size
-
-        def finish(_contribs):
-            return None, machine.barrier_time(size)
-
-        self._collective(None, finish, label="barrier")
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Broadcast ``obj`` from ``root``; all members return it."""
-        machine, size = self.world.machine, self.size
-        payload = _isolate(obj) if self.rank == root else None
-
-        def finish(contribs):
-            value, nbytes = contribs[root]
-            return value, machine.bcast_time(size, nbytes)
-
-        return self._collective(payload, finish, label="bcast")
-
-    def reduce(self, obj: Any, op: Op = Op.SUM, root: int = 0) -> Any:
-        """Reduce to ``root``; non-roots return ``None``."""
-        result = self._reduce_common(obj, op, allreduce=False)
-        return result if self.rank == root else None
-
-    def allreduce(self, obj: Any, op: Op = Op.SUM) -> Any:
-        """Reduce and distribute the result to every member."""
-        return self._reduce_common(obj, op, allreduce=True)
-
-    def _reduce_common(self, obj: Any, op: Op, allreduce: bool) -> Any:
-        machine, size = self.world.machine, self.size
-        payload = _isolate(obj)
-
-        def finish(contribs):
-            acc = None
-            nbytes = 0
-            for rank in sorted(contribs):
-                value, nb = contribs[rank]
-                nbytes = max(nbytes, nb)
-                acc = value if acc is None else op.apply(acc, value)
-            cost = (machine.allreduce_time(size, nbytes) if allreduce
-                    else machine.reduce_time(size, nbytes))
-            return acc, cost
-
-        return self._collective(
-            payload, finish, label="allreduce" if allreduce else "reduce")
-
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        """Gather one object per member to ``root`` (rank-ordered list)."""
-        machine, size = self.world.machine, self.size
-        payload = _isolate(obj)
-
-        def finish(contribs):
-            nbytes = max(nb for _, nb in contribs.values())
-            values = [contribs[r][0] for r in range(size)]
-            return values, machine.gather_time(size, nbytes)
-
-        result = self._collective(payload, finish, label="gather")
-        return result if self.rank == root else None
-
-    def allgather(self, obj: Any) -> list[Any]:
-        """Gather one object per member to everyone."""
-        machine, size = self.world.machine, self.size
-        payload = _isolate(obj)
-
-        def finish(contribs):
-            nbytes = max(nb for _, nb in contribs.values())
-            values = [contribs[r][0] for r in range(size)]
-            return values, machine.allgather_time(size, nbytes)
-
-        return self._collective(payload, finish, label="allgather")
-
-    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
-        """Scatter ``objs[i]`` from root to rank ``i``."""
-        machine, size = self.world.machine, self.size
-        payload = None
-        if self.rank == root:
-            if objs is None or len(objs) != size:
-                raise MPIError(
-                    f"scatter root needs a list of exactly {size} items")
-            payload = [_isolate(o) for o in objs]
-
-        def finish(contribs):
-            items = contribs[root]
-            nbytes = max(nb for _, nb in items) if items else 0
-            values = {r: items[r][0] for r in range(size)}
-            return values, machine.gather_time(size, nbytes)
-
-        values = self._collective(payload, finish, label="scatter")
-        return values[self.rank]
-
-    def alltoall(self, objs: list[Any]) -> list[Any]:
-        """Personalized all-to-all: rank i's ``objs[j]`` lands at rank j."""
-        machine, size = self.world.machine, self.size
-        if len(objs) != size:
-            raise MPIError(f"alltoall needs exactly {size} items")
-        payload = [_isolate(o) for o in objs]
-
-        def finish(contribs):
-            nbytes = max(nb for items in contribs.values() for _, nb in items)
-            table = {
-                dest: [contribs[src][dest][0] for src in range(size)]
-                for dest in range(size)
-            }
-            return table, machine.alltoall_time(size, nbytes)
-
-        table = self._collective(payload, finish, label="alltoall")
-        return table[self.rank]
+    # barrier/bcast/reduce/allreduce/gather/allgather/scatter/alltoall are
+    # inherited from CollectiveMixin, driven by _collective above.
 
     # -- communicator management ---------------------------------------------
     def split(self, color: int, key: int | None = None) -> "Comm":

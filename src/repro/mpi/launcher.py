@@ -1,47 +1,75 @@
-"""``mpirun`` — the SCMD job launcher.
+"""``mpirun`` — the SCMD job launcher, dispatching to execution backends.
 
 "A CCAFFEINE job is generally started using mpirun (or equivalent): P
 instances of the framework, run with the same script, cause P identically
-configured frameworks to load and exist on as many processors."  Here the
-"processors" are rank-threads inside one Python process; the program is any
-callable taking the rank's world communicator.
+configured frameworks to load and exist on as many processors."  *Which*
+processors is a transport choice made at launch time through the
+:mod:`repro.exec` backend registry:
 
-Shared-state hazard: real MPI ranks get private address spaces; these
-rank-threads do **not**.  Module-level mutable objects and mutated class
-attributes alias across ranks — run ``python -m repro.analysis`` (the
-RA2xx findings in :mod:`repro.analysis.scmd_safety`) to flag such state
-before launching, and mark deliberate singletons ``# scmd: shared``.
+* ``threads`` (default) — rank-threads inside this process with virtual
+  clocks (:mod:`repro.exec.threads`);
+* ``mp`` — real worker processes with shared-memory array transport
+  (:mod:`repro.exec.mp`);
+* ``mpiexec`` — an external mpi4py launch (:mod:`repro.exec.mpiexec`).
+
+Shared-state hazard (``threads`` backend only): real MPI ranks get
+private address spaces; rank-threads do **not**.  Module-level mutable
+objects and mutated class attributes alias across ranks — run ``python
+-m repro.analysis`` (the RA2xx findings in
+:mod:`repro.analysis.scmd_safety`) to flag such state before launching,
+and mark deliberate singletons ``# scmd: shared``.  The ``mp`` backend
+gives every rank a private address space, which is why the runtime race
+sanitizer only arms under ``threads``.
 """
 
 from __future__ import annotations
 
-import threading
 import traceback
 from typing import Any, Callable, Sequence
 
-from repro.errors import CommAbortedError, MPIError
-from repro.mpi import sanitizer as _tsan
-from repro.mpi.comm import Comm, World
+from repro.errors import MPIError
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
-from repro.obs import trace as _trace
-from repro.obs.aggregate import record_rank_clocks
-from repro.util import logging as rlog
 
 
 class RankFailure(MPIError):
-    """One or more ranks raised; carries per-rank tracebacks."""
+    """One or more ranks raised; carries per-rank tracebacks.
+
+    Under the ``mp``/``mpiexec`` backends the original exception objects
+    died with their worker processes; what crosses back is the pickled
+    traceback *text* (a :class:`RemoteRankError` carrying
+    ``remote_traceback``), rendered here exactly like a local one.
+    """
 
     def __init__(self, failures: dict[int, BaseException]) -> None:
         self.failures = failures
         lines = []
         for rank, exc in sorted(failures.items()):
-            tb = "".join(
-                traceback.format_exception(type(exc), exc, exc.__traceback__)
-            )
+            remote = getattr(exc, "remote_traceback", None)
+            if remote:
+                tb = remote
+            else:
+                tb = "".join(
+                    traceback.format_exception(type(exc), exc,
+                                               exc.__traceback__)
+                )
             lines.append(f"--- rank {rank} ---\n{tb}")
         super().__init__(
             f"{len(failures)} rank(s) failed:\n" + "\n".join(lines)
         )
+
+
+class RemoteRankError(MPIError):
+    """An exception re-raised on behalf of a worker-process rank.
+
+    ``remote_traceback`` holds the worker's formatted traceback;
+    ``remote_type`` the original exception class name.
+    """
+
+    def __init__(self, remote_type: str, message: str,
+                 remote_traceback: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
 
 
 def mpirun(
@@ -50,8 +78,9 @@ def mpirun(
     args: Sequence[Any] = (),
     machine: MachineModel = LOCALHOST,
     return_clocks: bool = False,
+    backend: str | None = None,
 ) -> list[Any]:
-    """Run ``main(comm, *args)`` on ``nprocs`` rank-threads.
+    """Run ``main(comm, *args)`` on ``nprocs`` ranks.
 
     Returns the per-rank return values (rank order).  If any rank raises,
     the world is aborted (unblocking its peers) and :class:`RankFailure`
@@ -60,77 +89,17 @@ def mpirun(
     With ``return_clocks=True`` each entry becomes ``(value, virtual_time)``
     where ``virtual_time`` is the rank's final clock — the number the
     scaling benches report.
+
+    ``backend`` selects the execution transport (``"threads"``, ``"mp"``,
+    ``"mpiexec"``); ``None`` defers to the ``REPRO_BACKEND`` environment
+    variable, then the ``threads`` default.  Same components, same SCMD
+    code paths — only the transport changes.
     """
+    from repro.exec import get_backend
+
     if nprocs < 1:
         raise MPIError(f"nprocs must be >= 1, got {nprocs}")
-    world = World(nprocs, machine)
-    results: list[Any] = [None] * nprocs
-    clocks: list[float] = [0.0] * nprocs
-    failures: dict[int, BaseException] = {}
-    failures_lock = threading.Lock()
-
-    def runner(rank: int) -> None:
-        comm = Comm(world, comm_id=0, rank=rank, size=nprocs, global_rank=rank)
-        # Rank-tag the thread for logging AND repro.obs trace attribution;
-        # restored (not cleared) so the inline nprocs == 1 path is safe.
-        with rlog.rank_context(rank):
-            try:
-                comm.reset_clock()  # don't charge thread start-up
-                results[rank] = main(comm, *args)
-                clocks[rank] = comm.clock
-            except CommAbortedError as exc:
-                # Secondary failure: this rank was unblocked by a peer's
-                # abort.
-                with failures_lock:
-                    failures.setdefault(rank, exc)
-            except BaseException as exc:  # noqa: BLE001 - report all crashes
-                with failures_lock:
-                    failures[rank] = exc
-                world.abort(
-                    f"rank {rank} raised {type(exc).__name__}: {exc}")
-
-    # While the sanitizer is armed, give this world fresh vector clocks
-    # and a fresh shadow table — the disabled cost is one flag check.
-    if _tsan.on:
-        _tsan.world_begin(nprocs)
-    try:
-        if nprocs == 1:
-            # Fast path: run inline (no thread) — keeps unit tests cheap
-            # and tracebacks direct.
-            runner(0)
-        else:
-            threads = [
-                threading.Thread(target=runner, args=(rank,),
-                                 name=f"rank-{rank}")
-                for rank in range(nprocs)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-    finally:
-        if _tsan.on:
-            _tsan.world_end()
-
-    if failures:
-        # Report only primary failures when present; a world-abort cascade
-        # otherwise shows every waiting rank as failed.
-        primary = {
-            r: e for r, e in failures.items()
-            if not isinstance(e, CommAbortedError)
-        }
-        raise RankFailure(primary or failures)
-    if _trace.on and nprocs > 1:
-        # Teardown aggregation: every traced SCMD run records each rank's
-        # final virtual clock plus the reduced summary (max/avg imbalance,
-        # p95, ...) into the default registry — the per-rank breakdown the
-        # scaling benches and the metrics JSON report.
-        summary = record_rank_clocks(clocks)
-        _trace.instant(
-            "mpi.world_teardown", "launcher", nprocs=nprocs,
-            imbalance=summary["stats"]["imbalance"],
-            clock_max=summary["stats"]["max"],
-            clock_mean=summary["stats"]["mean"])
-    if return_clocks:
-        return [(results[r], clocks[r]) for r in range(nprocs)]
-    return results
+    impl = get_backend(backend)
+    impl.require_available()
+    return impl.run(nprocs, main, args=args, machine=machine,
+                    return_clocks=return_clocks)

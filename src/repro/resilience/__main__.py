@@ -51,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--machine", choices=sorted(_MACHINES),
                      default="localhost",
                      help="virtual-time machine model (default: localhost)")
+    run.add_argument("--backend", default="",
+                     help="execution backend: threads | mp | mpiexec "
+                          "(default: $REPRO_BACKEND, then threads)")
     run.add_argument("--fault", metavar="SPEC", default="",
                      help="arm fault injection: key=value[,key=value...] "
                           "over FaultPlan fields, e.g. "
@@ -86,11 +89,19 @@ def _cmd_run(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.backend:
+        from repro.exec import resolve_name
+        try:
+            resolve_name(args.backend)  # fail fast with did-you-mean
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         result = run_supervised(text, nprocs=args.nprocs,
                                 retries=args.retries, backoff=args.backoff,
                                 machine=_MACHINES[args.machine],
-                                fault=args.fault or None, tsan=args.tsan)
+                                fault=args.fault or None, tsan=args.tsan,
+                                backend=args.backend or None)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

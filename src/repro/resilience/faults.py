@@ -117,6 +117,51 @@ def injected_counts() -> dict[str, int]:
         }
 
 
+def snapshot_counts() -> dict:
+    """Absolute counter snapshot, for cross-process merging.
+
+    The ``mp`` backend captures one in the parent at fork time (the
+    baseline) and one in each worker at exit; :func:`merge_counts` folds
+    the per-worker deltas back into the parent so a supervised retry
+    sees e.g. ``kills`` already at ``kill_max_fires``.
+    """
+    with _lock:
+        return {
+            "kills": _counters.kills,
+            "drops": _counters.drops,
+            "delays": _counters.delays,
+            "method_fires": _counters.method_fires,
+            "method_calls": dict(_counters.method_calls),
+            "send_serial": dict(_counters.send_serial),
+        }
+
+
+def merge_counts(baseline: dict, snapshots: list[dict]) -> None:
+    """Fold worker snapshots into this process's counters.
+
+    Workers inherit ``baseline`` at fork, so each scalar merges as the
+    sum of per-worker deltas above it (every injected fault fired in
+    exactly one process).  ``send_serial`` merges per channel by max: a
+    channel's sender lives in exactly one worker.
+    """
+    with _lock:
+        for attr in ("kills", "drops", "delays", "method_fires"):
+            total = getattr(_counters, attr)
+            for snap in snapshots:
+                total += max(0, snap.get(attr, 0) - baseline.get(attr, 0))
+            setattr(_counters, attr, total)
+        base_calls = baseline.get("method_calls", {})
+        for snap in snapshots:
+            for key, n in snap.get("method_calls", {}).items():
+                delta = max(0, n - base_calls.get(key, 0))
+                _counters.method_calls[key] = (
+                    _counters.method_calls.get(key, 0) + delta)
+        for snap in snapshots:
+            for channel, n in snap.get("send_serial", {}).items():
+                _counters.send_serial[channel] = max(
+                    _counters.send_serial.get(channel, 0), n)
+
+
 def _decide(prob: float, *key) -> bool:
     """Seeded deterministic Bernoulli draw for one event identity."""
     if prob <= 0.0:

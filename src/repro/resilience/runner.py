@@ -167,7 +167,8 @@ def run_supervised(script: str, classes: Iterable | None = None,
                    nprocs: int = 1, retries: int = 3, backoff: float = 0.0,
                    machine: MachineModel = LOCALHOST,
                    fault: str | _faults.FaultPlan | None = None,
-                   tsan: bool = False) -> RunResult:
+                   tsan: bool = False,
+                   backend: str | None = None) -> RunResult:
     """The in-process supervised run: :func:`supervise` plus the arming
     ceremony the CLI used to own.
 
@@ -177,6 +178,10 @@ def run_supervised(script: str, classes: Iterable | None = None,
     :class:`~repro.resilience.faults.FaultPlan` or a spec string for
     :func:`parse_fault_spec`; ``tsan`` arms the runtime race sanitizer.
     Both are disarmed again before returning, whatever happened.
+    ``backend`` selects the execution backend for every attempt (see
+    :mod:`repro.exec`); under ``mp`` the fault injector's counters
+    survive worker-process boundaries, so ``kill_max_fires`` caps the
+    injected kill across supervised restarts exactly as on ``threads``.
 
     Returns a :class:`RunResult`; inspect ``.ok`` / ``.results`` /
     ``.metrics()``.
@@ -195,7 +200,8 @@ def run_supervised(script: str, classes: Iterable | None = None,
         # supervise() records injected-fault counts into the report while
         # the plan is still armed
         report = supervise(script, classes, nprocs=nprocs, retries=retries,
-                           backoff=backoff, machine=machine)
+                           backoff=backoff, machine=machine,
+                           backend=backend)
     finally:
         if fault is not None:
             _faults.deactivate()
@@ -225,7 +231,8 @@ def with_resume(text: str) -> str:
 
 def supervise(script: str, classes: Iterable = (), nprocs: int = 1,
               retries: int = 3, backoff: float = 0.0,
-              machine: MachineModel = LOCALHOST) -> RunReport:
+              machine: MachineModel = LOCALHOST,
+              backend: str | None = None) -> RunReport:
     """Run ``script`` under supervision; see the module docstring.
 
     ``retries`` counts *re*-runs: the script gets at most ``retries + 1``
@@ -246,7 +253,8 @@ def supervise(script: str, classes: Iterable = (), nprocs: int = 1,
             text = with_resume(script)
         t0 = time.perf_counter()
         try:
-            results = run_scmd(nprocs, text, class_list, machine=machine)
+            results = run_scmd(nprocs, text, class_list, machine=machine,
+                               backend=backend)
         except Exception as exc:  # a failed attempt, whatever the layer
             first_line = str(exc).splitlines()[0] if str(exc) else ""
             report.failures.append(f"{type(exc).__name__}: {first_line}")

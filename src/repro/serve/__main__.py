@@ -87,6 +87,7 @@ def _submit_kwargs(args: argparse.Namespace) -> dict[str, Any]:
         "backoff": args.backoff,
         "fault": args.fault,
         "use_cache": not args.no_cache,
+        "backend": args.backend,
     }
 
 
@@ -186,6 +187,11 @@ def _add_submit_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backoff", type=float, default=0.0)
     p.add_argument("--fault", default="",
                    help="fault-injection spec (key=value[,key=value...])")
+    p.add_argument("--backend", default="",
+                   help="execution backend: threads | mp | mpiexec "
+                        "(default: the service default, $REPRO_BACKEND "
+                        "then threads); unknown names are rejected at "
+                        "admission (RA419)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the content-addressed result cache")
     p.add_argument("--no-admission", action="store_true",

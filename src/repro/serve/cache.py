@@ -47,15 +47,21 @@ class ResultCache:
 
     # -- addressing -------------------------------------------------------
     def key(self, script: str, params: Mapping[str, Any] | None, *,
-            nprocs: int = 1) -> str:
-        """The content address of (script, params, nprocs) under this
-        code.  ``nprocs`` is key material because the stored result
-        shape depends on it (single document vs per-rank list)."""
+            nprocs: int = 1, backend: str = "") -> str:
+        """The content address of (script, params, nprocs, backend)
+        under this code.  ``nprocs`` is key material because the stored
+        result shape depends on it (single document vs per-rank list);
+        ``backend`` (canonical :mod:`repro.exec` name, "" treated as the
+        default) because different transports are different execution
+        substrates — equivalence between them is something the test
+        suite *proves*, not something the cache may silently assume."""
+        from repro.exec import DEFAULT_BACKEND
         material = {
             "schema": CACHE_SCHEMA,
             "script_sha256": _sha256_text(script),
             "params": canonical_params(params),
             "nprocs": int(nprocs),
+            "backend": str(backend) or DEFAULT_BACKEND,
             "fingerprint": self.fingerprint,
         }
         blob = json.dumps(material, sort_keys=True, separators=(",", ":"))

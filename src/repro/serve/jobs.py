@@ -166,6 +166,9 @@ class JobSpec:
     #: Fault-injected jobs are never cached and never batched.
     fault: str = ""
     use_cache: bool = True
+    #: execution backend name (see :mod:`repro.exec`); "" = the service
+    #: default.  Stored canonicalized at submit; part of the cache key.
+    backend: str = ""
 
     def effective_script(self) -> str:
         return apply_overrides(self.script, self.params)
@@ -177,7 +180,7 @@ class JobSpec:
     def from_json(doc: Mapping[str, Any]) -> "JobSpec":
         fields = {k: doc[k] for k in (
             "script", "params", "tenant", "priority", "nprocs", "retries",
-            "backoff", "fault", "use_cache") if k in doc}
+            "backoff", "fault", "use_cache", "backend") if k in doc}
         return JobSpec(**fields)
 
 
@@ -199,6 +202,8 @@ class JobRecord:
     batch_size: int = 0
     attempts: int = 0
     restarts: int = 0
+    #: canonical execution backend the job runs (ran) under
+    backend: str = ""
     cache_key: str = ""
     #: batch-group key (jobs sharing it may coalesce); "" = not batchable
     signature: str = ""
@@ -216,8 +221,8 @@ class JobRecord:
         fields = {k: doc[k] for k in (
             "job_id", "tenant", "priority", "state", "created", "started",
             "finished", "error", "cache_hit", "batched", "batch_size",
-            "attempts", "restarts", "cache_key", "signature", "rejected",
-            "findings") if k in doc}
+            "attempts", "restarts", "backend", "cache_key", "signature",
+            "rejected", "findings") if k in doc}
         return JobRecord(**fields)
 
 

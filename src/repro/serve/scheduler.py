@@ -297,7 +297,8 @@ class Scheduler:
                 run = run_supervised(
                     script, self._classes, nprocs=spec.nprocs,
                     retries=spec.retries, backoff=spec.backoff,
-                    machine=self.machine, fault=spec.fault or None)
+                    machine=self.machine, fault=spec.fault or None,
+                    backend=spec.backend or None)
         except Exception as exc:
             self._finish_failed(job_id, record,
                                 f"{type(exc).__name__}: {exc}")

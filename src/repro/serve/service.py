@@ -21,8 +21,8 @@ after) compose through the store, and tests stay hermetic.
 (:func:`repro.analysis.contracts.check_job`) statically validates the
 script and the overrides against the committed component manifests.
 Error findings (unknown parameter, out-of-range value, wrong type,
-missing required parameter, unconnected required port) fail the job
-instantly — the findings land on the job record, a per-tenant
+missing required parameter, unconnected required port, unknown
+execution backend) fail the job instantly — the findings land on the job record, a per-tenant
 ``serve.rejected`` counter ticks, and no worker ever sees it.
 Warning-severity findings are recorded on the job and it proceeds.
 Admitted override values are coerced to their declared manifest types,
@@ -49,7 +49,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.contracts import check_job, coerce_job_params
 from repro.analysis.findings import Severity
-from repro.errors import ServeError
+from repro.errors import ReproError, ServeError
 from repro.obs.export import metrics_payload
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.serve import jobs as J
@@ -134,53 +134,78 @@ class SimulationService:
     # -- submission -------------------------------------------------------
     @staticmethod
     def _plan(spec: JobSpec) -> BatchPlan | None:
-        """Fault-injected or multi-rank jobs never batch; the planner
-        decides for the rest."""
-        if spec.fault or spec.nprocs != 1:
+        """Fault-injected, multi-rank, or non-default-backend jobs never
+        batch; the planner decides for the rest.  (A coalesced batch is
+        solved once by the worker thread — routing it through another
+        execution backend would silently change what the tenant asked
+        for.)"""
+        if spec.fault or spec.nprocs != 1 or spec.backend:
             return None
         return plan_for(spec.script, spec.params)
+
+    @staticmethod
+    def _canonical_backend(backend: str) -> str:
+        """The registry-canonical backend name ("" stays "" — the
+        service default).  Unknown names raise; :meth:`_submit_one`
+        turns that into an RA419 rejection instead of propagating."""
+        backend = str(backend or "").strip()
+        if not backend:
+            return ""
+        from repro.exec import resolve_name
+        return resolve_name(backend)
 
     def submit(self, script: str, *,
                params: Mapping[str, Any] | None = None,
                tenant: str = "default", priority: int = 0, nprocs: int = 1,
                retries: int = 0, backoff: float = 0.0, fault: str = "",
-               use_cache: bool = True) -> str:
+               use_cache: bool = True, backend: str = "") -> str:
         """Register one job; returns its id.  A content-cache hit at
         submit time completes the job immediately (no queue round
         trip)."""
         job_id, pending = self._submit_one(
             script, params=params, tenant=tenant, priority=priority,
             nprocs=nprocs, retries=retries, backoff=backoff, fault=fault,
-            use_cache=use_cache)
+            use_cache=use_cache, backend=backend)
         if pending is not None:
             self.scheduler.enqueue_many([pending])
         return job_id
 
     def _submit_one(self, script: str, *, params, tenant, priority, nprocs,
-                    retries, backoff, fault, use_cache) -> tuple[
+                    retries, backoff, fault, use_cache,
+                    backend="") -> tuple[
                         str, tuple[str, int, BatchPlan | None] | None]:
         overrides = J.canonical_params(params)
         findings: list = []
         errors: list = []
         if self.admission:
-            findings = check_job(script, overrides)
+            findings = check_job(script, overrides,
+                                 backend=str(backend or ""))
             errors = [f for f in findings if f.severity >= Severity.ERROR]
             if not errors:
                 # coerce override values to their declared manifest
                 # types so "1100" and 1100.0 key the cache identically
                 overrides = coerce_job_params(script, overrides)
+        try:
+            backend = self._canonical_backend(backend)
+        except ReproError:
+            # unknown backend: with admission on, the RA419 finding has
+            # already put the job on the rejection path below; with
+            # admission off, keep the verbatim name and let the
+            # scheduler's own resolve surface the error at run time.
+            backend = str(backend or "").strip()
         spec = JobSpec(script=script, params=overrides,
                        tenant=str(tenant), priority=int(priority),
                        nprocs=int(nprocs), retries=int(retries),
                        backoff=float(backoff), fault=str(fault or ""),
-                       use_cache=bool(use_cache))
+                       use_cache=bool(use_cache),
+                       backend=backend)
         if errors:
             record = self.store.new_job(spec)
             now = time.time()
             first = errors[0]
             self.store.transition(
                 record.job_id, (J.QUEUED,), state=J.FAILED, started=now,
-                finished=now, rejected=True,
+                finished=now, rejected=True, backend=spec.backend,
                 findings=[f.to_dict() for f in findings],
                 error=(f"admission: {len(errors)} contract error(s); "
                        f"first: {first.code} {first.message}"))
@@ -192,11 +217,13 @@ class SimulationService:
         plan = self._plan(spec)
         # fault-injected runs are experiments on the failure path, not
         # reusable results: exclude them from the cache entirely
-        key = self.cache.key(script, spec.params, nprocs=spec.nprocs) \
+        key = self.cache.key(script, spec.params, nprocs=spec.nprocs,
+                             backend=spec.backend) \
             if spec.use_cache and not spec.fault else ""
         record = self.store.new_job(spec)
         self.store.transition(record.job_id, (J.QUEUED,), cache_key=key,
                               signature=plan.group_key if plan else "",
+                              backend=spec.backend,
                               findings=[f.to_dict() for f in findings])
         self.registry.counter("serve.jobs_submitted", tenant=spec.tenant).inc()
         entry = self.cache.get(key) if key else None
@@ -242,7 +269,8 @@ class SimulationService:
                 retries=submit_kwargs.get("retries", 0),
                 backoff=submit_kwargs.get("backoff", 0.0),
                 fault=submit_kwargs.get("fault", ""),
-                use_cache=submit_kwargs.get("use_cache", True))
+                use_cache=submit_kwargs.get("use_cache", True),
+                backend=submit_kwargs.get("backend", ""))
             job_ids.append(job_id)
             if entry is not None:
                 pending.append(entry)

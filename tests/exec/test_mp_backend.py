@@ -1,0 +1,198 @@
+"""The multiprocessing backend: real worker processes, same semantics.
+
+Every assertion here is about *contract parity* with the thread
+backend — same results, same failure shapes, same communicator algebra —
+because the whole point of the registry is that rc-scripts and
+components cannot tell the transports apart.
+"""
+
+import os
+import signal
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, Op, ZERO_COST, mpirun, sanitizer
+from repro.mpi.launcher import RankFailure
+
+
+def run(n, fn, **kw):
+    return mpirun(n, fn, machine=ZERO_COST, backend="mp", **kw)
+
+
+# -------------------------------------------------------------------- basics
+def test_ranks_are_distinct_processes():
+    def main(comm):
+        return (comm.rank, comm.size, os.getpid())
+
+    out = run(3, main)
+    assert [(r, s) for r, s, _ in out] == [(r, 3) for r in range(3)]
+    pids = {pid for _, _, pid in out}
+    assert len(pids) == 3 and os.getpid() not in pids
+
+
+def test_env_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "mp")
+
+    def main(comm):
+        return os.getpid()
+
+    pids = mpirun(2, main, machine=ZERO_COST)
+    assert os.getpid() not in pids
+
+
+# ----------------------------------------------------------------------- p2p
+def test_send_recv_small_object():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send({"a": 1, "b": [1, 2]}, dest=1, tag=7)
+            return None
+        return comm.recv(source=0, tag=7)
+
+    assert run(2, main)[1] == {"a": 1, "b": [1, 2]}
+
+
+def test_send_recv_large_array_via_shared_memory():
+    """A >4 KiB array takes the shared-segment path; the receiver gets
+    an exact, isolated copy (mutating it cannot reach the sender)."""
+
+    def main(comm):
+        data = np.arange(8192.0) + comm.rank
+        if comm.rank == 0:
+            comm.send(data, dest=1)
+            comm.barrier()
+            return float(data.sum())
+        got = comm.recv(source=0)
+        ok = bool(np.array_equal(got, np.arange(8192.0)))
+        got[:] = -1.0  # must not corrupt anything anywhere
+        comm.barrier()
+        return ok
+
+    total, ok = run(2, main)
+    assert ok is True
+    assert total == float(np.arange(8192.0).sum())
+
+
+def test_sendrecv_and_any_source():
+    def main(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        got = comm.sendrecv(comm.rank, dest=right, source=left)
+        extra = None
+        if comm.rank == 0:
+            comm.send("probe-me", dest=1, tag=9)
+        if comm.rank == 1:
+            extra = comm.recv(source=ANY_SOURCE, tag=9)
+        return got, extra
+
+    out = run(3, main)
+    assert [g for g, _ in out] == [2, 0, 1]
+    assert out[1][1] == "probe-me"
+
+
+# ----------------------------------------------------------------- collectives
+def test_collectives_match_threads_backend():
+    def main(comm):
+        return (comm.allreduce(comm.rank + 1, op=Op.SUM),
+                comm.allreduce(comm.rank, op=Op.MAX),
+                comm.bcast(comm.rank * 10 or "root", root=1),
+                comm.allgather(comm.rank ** 2),
+                sorted(comm.alltoall([comm.rank] * comm.size)))
+
+    assert run(4, main) == mpirun(4, main, machine=ZERO_COST,
+                                  backend="threads")
+
+
+def test_reduce_array_payload():
+    def main(comm):
+        arr = np.full(4, float(comm.rank))
+        total = comm.allreduce(arr, op=Op.SUM)
+        return total.tolist()
+
+    assert run(3, main) == [[3.0, 3.0, 3.0, 3.0]] * 3
+
+
+def test_split_and_nested_collectives():
+    def main(comm):
+        half = comm.split(color=comm.rank % 2, key=comm.rank)
+        sub = half.allreduce(comm.rank, op=Op.SUM)
+        world = comm.allreduce(sub, op=Op.SUM)
+        return half.size, sub, world
+
+    out = run(4, main)
+    assert out == [(2, 2, 12), (2, 4, 12), (2, 2, 12), (2, 4, 12)]
+    assert out == mpirun(4, main, machine=ZERO_COST, backend="threads")
+
+
+# -------------------------------------------------------------------- failure
+def test_exception_carries_remote_traceback():
+    def main(comm):
+        if comm.rank == 2:
+            raise ValueError("boom on rank 2")
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(RankFailure) as excinfo:
+        run(4, main)
+    msg = str(excinfo.value)
+    assert "rank 2" in msg and "ValueError" in msg
+    assert "boom on rank 2" in msg
+    # the child's *actual* traceback rode home, not a parent-side stub
+    failure = excinfo.value.failures[2]
+    assert "boom on rank 2" in getattr(failure, "remote_traceback", "")
+
+
+def test_sigkill_surfaces_as_worker_death():
+    def main(comm):
+        if comm.rank == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(RankFailure) as excinfo:
+        run(2, main)
+    assert "WorkerDied" in str(excinfo.value)
+
+
+# ------------------------------------------------------------------ sanitizer
+def test_armed_sanitizer_degrades_with_warning():
+    was = sanitizer.on
+    sanitizer.configure()
+    try:
+        def main(comm):
+            return comm.allreduce(comm.rank)
+
+        with pytest.warns(RuntimeWarning, match="thread-backend only"):
+            out = run(2, main)
+        assert out == [1, 1]  # degraded, not broken
+    finally:
+        if not was:
+            sanitizer.deactivate()
+
+
+def test_unarmed_sanitizer_emits_no_warning():
+    was = sanitizer.on
+    sanitizer.deactivate()
+    try:
+        def main(comm):
+            return comm.rank
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert run(2, main) == [0, 1]
+    finally:
+        if was:
+            sanitizer.configure()
+
+
+# -------------------------------------------------------------- virtual time
+def test_virtual_clocks_returned_in_rank_order():
+    def main(comm):
+        comm.barrier()
+        return comm.rank
+
+    pairs = mpirun(3, main, machine=ZERO_COST, backend="mp",
+                   return_clocks=True)
+    assert [v for v, _ in pairs] == [0, 1, 2]
+    assert all(clock >= 0.0 for _, clock in pairs)

@@ -197,8 +197,10 @@ def test_seeded_race_detected_in_4rank_scmd(armed):
         framework.instantiate("RacyTally", "t")
         return framework.go("t", "go")
 
+    # pinned to the thread backend: the runtime sanitizer only sees
+    # rank-threads (the mp backend degrades it to a warning)
     with pytest.raises(RankFailure) as excinfo:
-        run_scmd(4, build, classes=[mod.RacyTally])
+        run_scmd(4, build, classes=[mod.RacyTally], backend="threads")
     msg = str(excinfo.value)
     assert "DataRaceError" in msg
     assert "RacyTally.tallies" in msg  # object identity in the report
@@ -210,7 +212,7 @@ def test_armed_clean_collective_run_passes(armed):
         comm.barrier()
         return comm.allreduce(comm.rank)
 
-    assert mpirun(4, main) == [6, 6, 6, 6]
+    assert mpirun(4, main, backend="threads") == [6, 6, 6, 6]
 
 
 def test_armed_clean_scmd_component_passes(armed):
@@ -242,4 +244,5 @@ def test_armed_clean_scmd_component_passes(armed):
         framework.instantiate("PerRankTally", "t")
         return framework.go("t", "go")
 
-    assert run_scmd(4, build, classes=[PerRankTally]) == [8, 8, 8, 8]
+    assert run_scmd(4, build, classes=[PerRankTally],
+                    backend="threads") == [8, 8, 8, 8]

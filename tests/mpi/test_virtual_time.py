@@ -146,8 +146,12 @@ def test_weak_scaling_is_flat_in_rank_count():
             _ghost_exchange_step(comm, n_local)
         return comm.clock
 
-    t2 = max(mpirun(2, main, args=(50,), machine=CPLANT))
-    t8 = max(mpirun(8, main, args=(50,), machine=CPLANT))
+    # pinned to the thread backend: the shape bound is calibrated to its
+    # exact message sizing (mp's pickle framing shifts comm costs a bit)
+    t2 = max(mpirun(2, main, args=(50,), machine=CPLANT,
+                    backend="threads"))
+    t8 = max(mpirun(8, main, args=(50,), machine=CPLANT,
+                    backend="threads"))
     assert t8 < 1.2 * t2
 
 
@@ -181,8 +185,12 @@ def test_strong_scaling_efficiency_degrades_for_small_problems():
         return comm.clock
 
     def efficiency(n_global, p):
-        t1 = max(mpirun(1, main, args=(n_global,), machine=CPLANT))
-        tp = max(mpirun(p, main, args=(n_global,), machine=CPLANT))
+        # thread backend: the 0.9-efficiency knee is calibrated to its
+        # exact message sizing, see test_weak_scaling_is_flat_...
+        t1 = max(mpirun(1, main, args=(n_global,), machine=CPLANT,
+                        backend="threads"))
+        tp = max(mpirun(p, main, args=(n_global,), machine=CPLANT,
+                        backend="threads"))
         return t1 / (p * tp)
 
     e_small = efficiency(64, 16)

@@ -1,0 +1,66 @@
+"""Execution-backend plumbing through the service: RA419 admission,
+cache-key material, record stamping, batching exclusion."""
+
+from repro.serve import jobs as J
+
+from .conftest import IGNITION_RC
+
+
+def test_unknown_backend_rejected_instantly(service):
+    job_id = service.submit(IGNITION_RC, backend="mp2")
+    record = service.status(job_id)
+    assert record["state"] == J.FAILED
+    assert record["rejected"] is True
+    assert service.scheduler.queue_depth() == 0
+    ra419 = [f for f in record["findings"] if f["code"] == "RA419"]
+    assert len(ra419) == 1
+    # the registry's did-you-mean text rides on the finding
+    assert "did you mean 'mp'" in ra419[0]["message"]
+    assert "RA419" in record["error"]
+
+
+def test_backend_canonicalized_onto_spec_and_record(service):
+    job_id = service.submit(IGNITION_RC, backend=" mp ")
+    assert service.store.get_spec(job_id).backend == "mp"
+    assert service.status(job_id)["backend"] == "mp"
+    service.cancel(job_id)
+
+
+def test_backend_is_cache_key_material(service):
+    k_default = service.cache.key(IGNITION_RC, {}, nprocs=1)
+    k_threads = service.cache.key(IGNITION_RC, {}, nprocs=1,
+                                  backend="threads")
+    k_mp = service.cache.key(IGNITION_RC, {}, nprocs=1, backend="mp")
+    # "" means the default backend: same computation, same address
+    assert k_default == k_threads
+    assert k_mp != k_threads
+
+
+def test_default_backend_batches_nondefault_does_not(service):
+    default_plan = service._plan(J.JobSpec(script=IGNITION_RC))
+    assert default_plan is not None
+    assert service._plan(J.JobSpec(script=IGNITION_RC,
+                                   backend="mp")) is None
+
+
+def test_job_runs_under_mp_backend_and_matches_threads(service):
+    j_thr = service.submit(IGNITION_RC, backend="threads")
+    j_mp = service.submit(IGNITION_RC, backend="mp")
+    assert service.drain(240)
+    thr = service.result(j_thr)
+    mp = service.result(j_mp)
+    assert mp["result"] == thr["result"]  # exact JSON equality
+    record = service.status(j_mp)
+    assert record["state"] == J.DONE and record["backend"] == "mp"
+    # distinct cache entries: neither run answered the other
+    assert record["cache_key"] != service.status(j_thr)["cache_key"]
+    assert not record["cache_hit"] and not record["batched"]
+
+
+def test_sweep_forwards_backend(service):
+    job_ids = service.sweep(
+        IGNITION_RC, {"Initializer.T0": [1000.0, 1010.0]},
+        backend="threads")
+    for job_id in job_ids:
+        assert service.store.get_spec(job_id).backend == "threads"
+        service.cancel(job_id)
