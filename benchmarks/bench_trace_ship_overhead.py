@@ -1,0 +1,98 @@
+"""Worker trace-shipping overhead on the backend A/B workload.
+
+ISSUE 10's tentpole makes a traced ``backend="mp"`` run ship every
+worker's span buffers, metrics snapshot and profiler samples back
+through the result queue.  The claim: folding a 4-rank trace home costs
+single-digit percent of the run.  This bench times the same traced
+reaction-diffusion run with shipping armed (the default) and with the
+``REPRO_OBS_SHIP=0`` kill switch, interleaved so host drift hits both
+sides equally, and writes the ratio into the ``BENCH_`` trajectory so
+the regression gate watches shipping cost over time.
+"""
+
+import os
+import time
+
+import repro.obs as obs
+from repro.bench import save_json, save_report
+from repro.bench.backends import _workload
+from repro.bench.reporting import format_table
+from repro.mpi import ZERO_COST, mpirun
+from repro.obs import trace
+from repro.util.options import fast_mode
+
+NPROCS = 4
+
+
+def _traced_run(main, ship: bool) -> tuple[float, int]:
+    """One traced mp run; returns (wall seconds, shipped rank count)."""
+    os.environ["REPRO_OBS_SHIP"] = "1" if ship else "0"
+    try:
+        with obs.tracing():
+            t0 = time.perf_counter()
+            mpirun(NPROCS, main, machine=ZERO_COST, backend="mp")
+            wall = time.perf_counter() - t0
+            ranks = {e.rank for e in trace.events()
+                     if e.rank is not None}
+    finally:
+        os.environ.pop("REPRO_OBS_SHIP", None)
+    return wall, len(ranks)
+
+
+def run_ship_overhead(fast: bool | None = None, rounds: int = 3):
+    fast = fast_mode() if fast is None else fast
+    nx, n_steps = (16, 2) if fast else (32, 4)
+    main = _workload(nx, n_steps)
+    _traced_run(main, ship=False)        # warm-up
+    off: list[float] = []
+    on: list[float] = []
+    ranks_on = 0
+    for _ in range(rounds):
+        off.append(_traced_run(main, ship=False)[0])
+        wall, ranks_on = _traced_run(main, ship=True)
+        on.append(wall)
+    overhead_pct = 100.0 * (min(on) / min(off) - 1.0)
+    return {
+        "workload": {"app": "reaction_diffusion", "nx": nx, "ny": nx,
+                     "n_steps": n_steps, "nprocs": NPROCS,
+                     "rounds": rounds},
+        "ship_off": off,
+        "ship_on": on,
+        "ranks_shipped": ranks_on,
+        "overhead_pct": overhead_pct,
+    }
+
+
+def test_trace_ship_overhead_single_digit(benchmark):
+    result = benchmark.pedantic(run_ship_overhead, rounds=1,
+                                iterations=1)
+    rows = [["ship off (REPRO_OBS_SHIP=0)", min(result["ship_off"])],
+            ["ship on  (default)", min(result["ship_on"])]]
+    w = result["workload"]
+    report = format_table(
+        ["variant", "best wall [s]"], rows,
+        title=(f"worker trace shipping — reaction-diffusion "
+               f"{w['nx']}x{w['ny']}, {w['n_steps']} steps, "
+               f"{w['nprocs']} mp ranks"))
+    report += (f"\noverhead: {result['overhead_pct']:+.2f}%  "
+               f"(claim: <= 5%)\n")
+    path = save_report("trace_ship_overhead", report)
+    json_path = save_json("trace_ship_overhead", {
+        "bench": "trace_ship_overhead",
+        "workload": w,
+        "ship_off_best": min(result["ship_off"]),
+        "ship_on_best": min(result["ship_on"]),
+        "ranks_shipped": result["ranks_shipped"],
+        "overhead_pct": result["overhead_pct"],
+    }, metrics={
+        # trajectory KPIs (lower = better); overhead_pct shifted +100
+        # so the gate's ratio test stays meaningful near zero
+        "ship_on_best": min(result["ship_on"]),
+        "overhead_pct_plus100": 100.0 + result["overhead_pct"],
+    })
+    benchmark.extra_info["report"] = path
+    benchmark.extra_info["json"] = json_path
+    # shipping actually happened on the armed side
+    assert result["ranks_shipped"] == NPROCS
+    # the headline claim: folding 4 ranks home costs <= 5%
+    assert result["overhead_pct"] <= 5.0

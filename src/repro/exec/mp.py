@@ -62,6 +62,7 @@ from repro.mpi.comm import (ANY_SOURCE, ANY_TAG, Comm, Request, Status,
                             _Message, _RankState)
 from repro.mpi.perfmodel import MachineModel, LOCALHOST
 from repro.mpi import sanitizer as _tsan
+from repro.obs import profiler as _profiler
 from repro.obs import trace as _obs
 from repro.obs.metrics import get_registry as _obs_registry
 from repro.resilience import faults as _faults
@@ -411,13 +412,98 @@ class MPComm(CollectiveMixin):
 
 
 # ---------------------------------------------------------------- worker
+def _obs_ship_enabled() -> bool:
+    """``REPRO_OBS_SHIP=0`` disables worker observability shipping (the
+    overhead bench uses it to isolate the shipping cost)."""
+    return os.environ.get("REPRO_OBS_SHIP", "1").strip().lower() not in (
+        "0", "false", "no", "off")
+
+
+def _child_obs_setup(trace_ctx: dict | None) -> None:
+    """Post-fork observability bootstrap for a worker rank.
+
+    The fork hands the worker the parent's trace buffers, metrics
+    values, and profiler ring *by value* — all of which the parent will
+    keep and re-absorb, so the worker must drop them or every parent
+    event would come home duplicated.  The session origin ``_t0`` and
+    the enabled flags are kept (that is what makes the worker's events
+    land on the parent's timeline), the launching thread's trace
+    context is re-established, and the sampler thread — which did not
+    survive the fork — is restarted fresh when ``REPRO_PROFILE`` armed
+    the parent.
+    """
+    if _obs.on:
+        _obs.child_reset()
+        _obs_registry().reset()
+        if trace_ctx:
+            _obs._tls.ctx = dict(trace_ctx)
+    if _profiler.on and _obs_ship_enabled():
+        inherited = _profiler.get()
+        _profiler.start(
+            interval=inherited.interval if inherited is not None else None)
+
+
+def _ship_obs(rank: int) -> Any:
+    """Drain this worker's observability state into a blob envelope
+    (``None`` when there is nothing to ship or shipping is disabled).
+
+    The payload — span events, a metrics-registry snapshot, rank-tagged
+    profiler samples — is pickled once and spooled through the shm
+    transport when large, so a trace-heavy rank cannot clog the result
+    pipe."""
+    if not _obs_ship_enabled():
+        return None
+    prof = _profiler.stop() if _profiler.on else None
+    if not _obs.on and prof is None:
+        return None
+    payload: dict[str, Any] = {"rank": rank}
+    if _obs.on:
+        payload["events"] = _obs.drain_events()
+        payload["metrics"] = _obs_registry().snapshot()
+    if prof is not None:
+        payload["profile"] = [s._replace(rank=rank)
+                              for s in prof.samples()]
+    try:
+        return _shm.encode_blob(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable span arg: drop the rank's payload
+        return None
+
+
+def _fold_obs(records: dict[int, tuple]) -> None:
+    """Parent-side half of obs shipping: decode every worker's payload
+    (always — an undecoded blob would leak its shm segment) and fold
+    events, metrics, and profiler samples into this process's session."""
+    for rank in sorted(records):
+        env = records[rank][-1]
+        if env is None:
+            continue
+        try:
+            payload = pickle.loads(_shm.decode_blob(env))
+        except Exception:
+            continue
+        evs = payload.get("events")
+        if evs:
+            _obs.absorb(evs, label=f"mp-rank-{payload.get('rank', rank)}")
+        snap = payload.get("metrics")
+        if snap:
+            _obs_registry().merge_snapshot(snap)
+        samples = payload.get("profile")
+        if samples:
+            prof = _profiler.get()
+            if prof is not None:
+                prof.absorb(samples)
+
+
 def _worker(rank: int, nprocs: int, machine: MachineModel,
             main: Callable[..., Any], args: Sequence[Any],
-            inboxes: list, result_q, abort_evt) -> None:
+            inboxes: list, result_q, abort_evt,
+            trace_ctx: dict | None = None) -> None:
     """Worker-process body for one rank (post-fork)."""
     # The sanitizer's shadow state is meaningless here: this process IS
     # the private address space.  Disarm locally (fork-isolated write).
     _tsan.on = False
+    _child_obs_setup(trace_ctx)
     # SAMR patch arrays go into shared segments for this rank's lifetime.
     from repro.samr import dataobject as _dobj
     _dobj.set_array_allocator(_shm.shm_allocator)
@@ -437,6 +523,8 @@ def _worker(rank: int, nprocs: int, machine: MachineModel,
             abort_evt.set()
             record = ("err", rank, type(exc).__name__, str(exc),
                       traceback.format_exc(), _counts())
+        obs_env = _ship_obs(rank)
+    record = record + (obs_env,)
     # Flush any still-buffered inter-rank messages before reporting:
     # Queue.put hands items to a feeder thread, and a receiver may be
     # blocked on something this rank sent just before finishing.
@@ -449,7 +537,7 @@ def _worker(rank: int, nprocs: int, machine: MachineModel,
         blob = pickle.dumps(
             ("err", rank, type(exc).__name__,
              f"rank result is not picklable: {exc}",
-             traceback.format_exc(), _counts()),
+             traceback.format_exc(), _counts(), obs_env),
             protocol=pickle.HIGHEST_PROTOCOL)
     result_q.put(blob)
     result_q.close()
@@ -506,11 +594,12 @@ class MPBackend(ExecBackend):
         result_q = ctx.Queue()
         abort_evt = ctx.Event()
         fault_base = _counts()
+        trace_ctx = _obs.current_context() if _obs.on else None
 
         procs = [
             ctx.Process(target=_worker,
                         args=(rank, nprocs, machine, main, tuple(args),
-                              inboxes, result_q, abort_evt),
+                              inboxes, result_q, abort_evt, trace_ctx),
                         name=f"rank-{rank}", daemon=True)
             for rank in range(nprocs)
         ]
@@ -543,7 +632,7 @@ class MPBackend(ExecBackend):
                     records[rank] = (
                         "err", rank, "WorkerDied", reason,
                         f"WorkerDied: {reason} (killed or segfaulted; no "
-                        f"Python traceback exists)", None)
+                        f"Python traceback exists)", None, None)
         finally:
             for p in procs:
                 p.join(timeout=5.0)
@@ -555,18 +644,22 @@ class MPBackend(ExecBackend):
                 q.cancel_join_thread()
                 q.close()
 
+        # Fold worker obs payloads before anything can raise: failed
+        # runs keep their partial traces, and skipping a decode would
+        # leak the payload's shm segment.
+        _fold_obs(records)
+
         if _faults.on and fault_base is not None:
             _faults.merge_counts(
                 fault_base,
-                [r[-1] for r in records.values() if r[-1] is not None])
+                [r[-2] for r in records.values() if r[-2] is not None])
 
         failures: dict[int, BaseException] = {}
         secondary: dict[int, BaseException] = {}
         for rank in sorted(records):
             rec = records[rank]
             if rec[0] == "err":
-                _, _, etype, emsg, tb, _ = rec
-                failures[rank] = RemoteRankError(etype, emsg, tb)
+                failures[rank] = RemoteRankError(rec[2], rec[3], rec[4])
             elif rec[0] == "aborted":
                 secondary[rank] = CommAbortedError(rec[2])
         if failures or secondary:

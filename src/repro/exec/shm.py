@@ -185,6 +185,44 @@ def shm_allocator(shape: tuple[int, ...], fill: float,
     return shm_full(shape, fill, dtype)
 
 
+# ---------------------------------------------------------------- blobs
+def encode_blob(data: bytes, min_bytes: int | None = None) -> Any:
+    """``("blob", data)`` or, above the shm threshold,
+    ``("blob-shm", name, nbytes)`` with the bytes spooled into a shared
+    segment.
+
+    Used for opaque payloads that must not clog the result queue — a
+    worker's drained trace/metrics/profile pickle can run to megabytes,
+    and a pipe-bound ``Queue`` would serialize the whole teardown on it.
+    The receiver owns (and unlinks) the segment.
+    """
+    limit = min_shm_bytes() if min_bytes is None else min_bytes
+    if len(data) < limit:
+        return ("blob", data)
+    seg = shared_memory.SharedMemory(create=True, size=len(data))
+    seg.buf[:len(data)] = data
+    name = seg.name
+    seg.close()
+    return ("blob-shm", name, len(data))
+
+
+def decode_blob(envelope: Any) -> bytes:
+    """Reverse of :func:`encode_blob`; unlinks the segment if any."""
+    if envelope[0] == "blob":
+        return envelope[1]
+    _, name, nbytes = envelope
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        data = bytes(seg.buf[:nbytes])
+    finally:
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        seg.close()
+    return data
+
+
 # ---------------------------------------------------------------- messages
 def encode_message(obj: Any) -> tuple[Any, int]:
     """``(envelope, nbytes)`` for one cross-process message.

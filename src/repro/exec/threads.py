@@ -44,13 +44,19 @@ class ThreadsBackend(ExecBackend):
         failures: dict[int, BaseException] = {}
         failures_lock = threading.Lock()
 
+        # Thread-locals don't cross a Thread boundary: re-establish the
+        # launching thread's trace context (job/trace ids from
+        # repro.serve) inside every rank thread so rank spans stay
+        # attributable to the job that spawned them.
+        parent_ctx = _trace.current_context() if _trace.on else {}
+
         def runner(rank: int) -> None:
             comm = Comm(world, comm_id=0, rank=rank, size=nprocs,
                         global_rank=rank)
             # Rank-tag the thread for logging AND repro.obs trace
             # attribution; restored (not cleared) so the inline
             # nprocs == 1 path is safe.
-            with rlog.rank_context(rank):
+            with rlog.rank_context(rank), _trace.context(**parent_ctx):
                 try:
                     comm.reset_clock()  # don't charge thread start-up
                     results[rank] = main(comm, *args)

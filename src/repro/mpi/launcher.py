@@ -96,10 +96,16 @@ def mpirun(
     code paths — only the transport changes.
     """
     from repro.exec import get_backend
+    from repro.obs import trace as _trace
 
     if nprocs < 1:
         raise MPIError(f"nprocs must be >= 1, got {nprocs}")
     impl = get_backend(backend)
     impl.require_available()
-    return impl.run(nprocs, main, args=args, machine=machine,
-                    return_clocks=return_clocks)
+    # One enclosing span per world launch: the joint that links a serve
+    # job's scheduler/supervisor spans (via the thread's trace context)
+    # to the rank spans the backend produces or ships home.
+    with _trace.span("mpi.world", "launcher", nprocs=nprocs,
+                     backend=impl.name):
+        return impl.run(nprocs, main, args=args, machine=machine,
+                        return_clocks=return_clocks)

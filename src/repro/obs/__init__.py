@@ -54,6 +54,7 @@ from repro.obs.export import (
     chrome_trace_events,
     export_chrome_trace,
     export_metrics,
+    load_chrome_trace,
     metric_record,
     metrics_payload,
     wrap_metrics,
@@ -70,7 +71,11 @@ from repro.obs.trace import (
     Event,
     NULL_SPAN,
     Span,
+    absorb,
     complete,
+    context,
+    current_context,
+    drain_events,
     enabled,
     events,
     instant,
@@ -80,9 +85,11 @@ from repro.util.timing import Stopwatch
 
 __all__ = [
     "trace", "tracing", "enabled", "span", "complete", "instant", "events",
+    "context", "current_context", "drain_events", "absorb",
     "Event", "Span", "NULL_SPAN",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
     "chrome_trace_events", "export_chrome_trace", "export_metrics",
+    "load_chrome_trace",
     "metrics_payload", "metric_record", "wrap_metrics",
     "aggregate", "profiler", "SamplingProfiler",
 ]

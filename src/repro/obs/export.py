@@ -121,6 +121,40 @@ def export_chrome_trace(path: str,
     return path
 
 
+def load_chrome_trace(path: str) -> list[_trace.Event]:
+    """Read a Chrome/Perfetto trace written by :func:`export_chrome_trace`
+    back into tracer :class:`~repro.obs.trace.Event` tuples.
+
+    The inverse the ``python -m repro.obs`` CLI analyzes with: rank
+    attribution is recovered from the tid convention (rank n -> tid n;
+    tids past the unranked offset carry no rank), thread names from the
+    ``M`` metadata records.  Only ``X``/``i`` records are returned,
+    time-sorted.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    records = payload["traceEvents"] if isinstance(payload, dict) \
+        else payload
+    names: dict[int, str] = {}
+    for rec in records:
+        if rec.get("ph") == "M" and rec.get("name") == "thread_name":
+            names[int(rec["tid"])] = rec.get("args", {}).get(
+                "name", str(rec["tid"]))
+    events: list[_trace.Event] = []
+    for rec in records:
+        ph = rec.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        tid = int(rec.get("tid", 0))
+        rank = tid if tid < _UNRANKED_TID0 else None
+        events.append(_trace.Event(
+            ph, rec.get("name", ""), rec.get("cat", ""),
+            float(rec.get("ts", 0.0)), float(rec.get("dur", 0.0)),
+            rank, names.get(tid, str(tid)), rec.get("args")))
+    events.sort(key=lambda e: e.ts)
+    return events
+
+
 def metrics_payload(registry: MetricsRegistry | None = None, *,
                     prefix: str | None = None,
                     extra: Sequence[dict] | None = None) -> dict:

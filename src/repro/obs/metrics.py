@@ -158,6 +158,42 @@ class Histogram:
             },
         }
 
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (possibly from another process) in.
+
+        Bucket counts are re-bucketed by edge value: each shipped bucket
+        lands in the first own bucket whose upper bound covers it (the
+        identity mapping when the edge tuples match, which is the normal
+        case — both sides built from the same metric name).
+        """
+        if not snap.get("count"):
+            return
+        shipped = snap.get("buckets", {})
+        with self._lock:
+            self.count += int(snap["count"])
+            self.total += float(snap["sum"])
+            if snap.get("min") is not None and snap["min"] < self.min:
+                self.min = float(snap["min"])
+            if snap.get("max") is not None and snap["max"] > self.max:
+                self.max = float(snap["max"])
+            for key, c in shipped.items():
+                if not c:
+                    continue
+                if key == "overflow":
+                    self.counts[-1] += int(c)
+                    continue
+                try:
+                    edge = float(key[3:])  # "le_<edge:g>"
+                except ValueError:
+                    self.counts[-1] += int(c)
+                    continue
+                for i, own in enumerate(self.edges):
+                    if edge <= own:
+                        self.counts[i] += int(c)
+                        break
+                else:
+                    self.counts[-1] += int(c)
+
 
 Metric = Counter | Gauge | Histogram
 
@@ -218,6 +254,32 @@ class MetricsRegistry:
              **metric.snapshot()}
             for (name, lk), metric in items
         ]
+
+    def merge_snapshot(self, records: list[dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` from another registry (typically a
+        forked ``mp`` worker's, shipped home at teardown) into this one.
+
+        Counters add, gauges take the shipped value (last write wins,
+        as for a local ``set``), histograms merge bucket-by-bucket.
+        Malformed records are skipped rather than poisoning the run.
+        """
+        for rec in records:
+            try:
+                name, kind = rec["name"], rec["type"]
+                labels = rec.get("labels", {})
+                if kind == "counter":
+                    self.counter(name, **labels).inc(float(rec["value"]))
+                elif kind == "gauge":
+                    self.gauge(name, **labels).set(float(rec["value"]))
+                elif kind == "histogram":
+                    buckets = rec.get("buckets", {})
+                    edges = tuple(sorted(
+                        float(k[3:]) for k in buckets
+                        if k.startswith("le_")))
+                    self.histogram(name, edges=edges or DEFAULT_EDGES,
+                                   **labels).merge_snapshot(rec)
+            except (KeyError, TypeError, ValueError, ObsError):
+                continue
 
     def reset(self) -> None:
         with self._lock:

@@ -173,6 +173,23 @@ class SamplingProfiler:
         """The ring buffer's current contents, oldest first."""
         return list(self._ring)
 
+    def absorb(self, shipped: Iterable[Sample | tuple]) -> int:
+        """Fold samples shipped from another process into the ring.
+
+        The parent-side half of ``mp``-backend profile shipping: worker
+        ranks sample themselves (the fork kills the inherited sampler
+        thread, so each worker restarts its own) and ship their rings
+        home at teardown, rank-tagged.  Returns the number absorbed.
+        """
+        n = 0
+        for s in shipped:
+            if not isinstance(s, Sample):
+                s = Sample(*s)
+            self._ring.append(s)
+            self.samples_taken += 1
+            n += 1
+        return n
+
     def clear(self) -> None:
         self._ring.clear()
 

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, NamedTuple
+from contextlib import contextmanager
+from typing import Any, Iterable, NamedTuple
 
 from repro.util.logging import get_rank
 
@@ -167,6 +168,98 @@ def events() -> list[Event]:
     return merged
 
 
+# -- trace context (distributed-trace attribution) ----------------------------
+@contextmanager
+def context(**kv: Any):
+    """Attach ``kv`` to every event this thread emits inside the block.
+
+    The mechanism behind end-to-end job traces: :mod:`repro.serve` sets
+    ``trace_id``/``job`` on its worker thread, the execution backends
+    re-establish the launching thread's context inside every rank thread
+    (and forked ``mp`` worker), and each span's args carry the keys —
+    so one filter over a merged trace recovers a job's full scheduler →
+    supervisor → rank span tree.  Contexts nest (inner keys win) and an
+    empty call is a no-op.
+    """
+    if not kv:
+        yield
+        return
+    prev = getattr(_tls, "ctx", None)
+    _tls.ctx = {**prev, **kv} if prev else dict(kv)
+    try:
+        yield
+    finally:
+        _tls.ctx = prev
+
+
+def current_context() -> dict[str, Any]:
+    """The calling thread's trace context (a copy; {} when unset)."""
+    ctx = getattr(_tls, "ctx", None)
+    return dict(ctx) if ctx else {}
+
+
+def _with_ctx(args: dict[str, Any] | None) -> dict[str, Any] | None:
+    """Event args with the thread context folded in (explicit args win)."""
+    ctx = getattr(_tls, "ctx", None)
+    if not ctx:
+        return args
+    return {**ctx, **args} if args else dict(ctx)
+
+
+# -- cross-process shipping ---------------------------------------------------
+def drain_events() -> list[Event]:
+    """Remove and return every event of the current session (sorted).
+
+    The worker-side half of ``mp``-backend trace shipping: a forked rank
+    drains its buffers at teardown and ships the events home, where the
+    parent folds them back in with :func:`absorb`.  Buffers re-register
+    lazily, so the session stays usable after a drain.
+    """
+    global _generation
+    with _lock:
+        merged = [e for _name, buf in _buffers for e in buf]
+        _buffers.clear()
+    _generation += 1
+    merged.sort(key=lambda e: e.ts)
+    return merged
+
+
+def absorb(shipped: Iterable[Event | tuple],
+           label: str = "absorbed") -> int:
+    """Fold events shipped from another process into this session.
+
+    Timestamps are kept verbatim: workers forked from this process
+    inherit the session's ``perf_counter`` origin, and ``perf_counter``
+    is system-wide monotonic on the platforms the ``mp`` backend runs
+    on, so shipped and local events share one timeline.  Returns the
+    number of events absorbed.
+    """
+    buf = [e if isinstance(e, Event) else Event(*e) for e in shipped]
+    if not buf:
+        return 0
+    with _lock:
+        _buffers.append((label, buf))
+    return len(buf)
+
+
+def child_reset() -> None:
+    """Post-fork cleanup for a worker process: drop every event and live
+    span stack inherited from the parent (they belong to the parent's
+    timeline and would be shipped home as duplicates) while keeping the
+    session origin ``_t0`` and the enabled flag, so the worker's own
+    events stay merge-compatible with the parent's."""
+    global _generation
+    with _lock:
+        _buffers.clear()
+        _active.clear()
+    _generation += 1
+    st = getattr(_tls, "stack", None)
+    if st is not None:
+        st.frames.clear()
+        with _lock:
+            _active[threading.get_ident()] = st
+
+
 # -- emission -----------------------------------------------------------------
 class Span:
     """A context-managed duration event."""
@@ -197,7 +290,7 @@ class Span:
         _buf().append(Event(
             "X", self.name, self.cat, (self._start - _t0) * 1e6,
             (end - self._start) * 1e6, get_rank(),
-            threading.current_thread().name, self.args or None))
+            threading.current_thread().name, _with_ctx(self.args or None)))
         return False
 
 
@@ -249,7 +342,8 @@ def complete(name: str, cat: str, t_start: float, **args: Any) -> None:
     _buf().append(Event(
         "X", sanitize(name), cat, (t_start - _t0) * 1e6,
         (end - t_start) * 1e6,
-        get_rank(), threading.current_thread().name, args or None))
+        get_rank(), threading.current_thread().name,
+        _with_ctx(args or None)))
 
 
 def instant(name: str, cat: str = "app", **args: Any) -> None:
@@ -258,4 +352,5 @@ def instant(name: str, cat: str = "app", **args: Any) -> None:
         return
     _buf().append(Event(
         "i", sanitize(name), cat, (time.perf_counter() - _t0) * 1e6, 0.0,
-        get_rank(), threading.current_thread().name, args or None))
+        get_rank(), threading.current_thread().name,
+        _with_ctx(args or None)))

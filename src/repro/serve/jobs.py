@@ -212,6 +212,11 @@ class JobRecord:
     #: admission findings (Finding.to_dict() docs): all of them for a
     #: rejected job, warnings-only for an admitted one
     findings: list = field(default_factory=list)
+    #: distributed-trace id minted at submit; every span the job causes
+    #: (scheduler, supervisor, backend ranks) carries it in its args
+    trace_id: str = ""
+    #: per-job Chrome trace artifact (written when the service traces)
+    trace_path: str = ""
 
     def to_json(self) -> dict[str, Any]:
         return {"schema": JOB_SCHEMA, **asdict(self)}
@@ -222,7 +227,7 @@ class JobRecord:
             "job_id", "tenant", "priority", "state", "created", "started",
             "finished", "error", "cache_hit", "batched", "batch_size",
             "attempts", "restarts", "backend", "cache_key", "signature",
-            "rejected", "findings") if k in doc}
+            "rejected", "findings", "trace_id", "trace_path") if k in doc}
         return JobRecord(**fields)
 
 

@@ -32,12 +32,15 @@ and the batch-occupancy histogram.
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 import time
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from typing import Any, Iterable
 
 from repro.mpi.perfmodel import LOCALHOST, MachineModel
+from repro.obs import trace as _trace
+from repro.obs.export import export_chrome_trace
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.resilience.runner import run_supervised
 from repro.serve import jobs as J
@@ -287,7 +290,46 @@ class Scheduler:
                               tenant=record.tenant).inc()
         self.registry.counter("serve.jobs_done", tenant=record.tenant).inc()
 
+    # -- distributed-trace plumbing ---------------------------------------
+    def _write_trace_artifact(self, job_id: str, record: Any,
+                              extra_ids: tuple[str, ...] = ()) -> None:
+        """Export the job's slice of the session trace into its job dir.
+
+        Every span the job caused carries its ``trace_id`` (the worker
+        thread's trace context flows through the supervisor into the
+        backend — rank threads re-establish it; ``mp`` workers ship it
+        home in their span args), so one filter over the merged session
+        events recovers the scheduler → supervisor → rank tree even
+        while concurrent jobs interleave.  ``extra_ids`` links batch
+        members to their shared ``serve.batch`` span.
+        """
+        tid = getattr(record, "trace_id", "")
+        if not (_trace.on and tid):
+            return
+        ids = {tid, *extra_ids}
+        evs = [e for e in _trace.events()
+               if e.args and e.args.get("trace_id") in ids]
+        if not evs:
+            return
+        path = os.path.join(self.store.job_dir(job_id), "trace.json")
+        try:
+            export_chrome_trace(path, evs)
+        except OSError:  # a lost artifact must not fail a finished job
+            return
+        self.store.transition(job_id, (J.DONE, J.FAILED), trace_path=path)
+
     def _run_single(self, job_id: str, record: Any) -> None:
+        tid = getattr(record, "trace_id", "")
+        if not (_trace.on and tid):
+            self._run_single_impl(job_id, record)
+            return
+        with _trace.context(trace_id=tid, job=job_id):
+            with _trace.span("serve.job", "serve", job=job_id,
+                             tenant=record.tenant):
+                self._run_single_impl(job_id, record)
+        self._write_trace_artifact(job_id, record)
+
+    def _run_single_impl(self, job_id: str, record: Any) -> None:
         spec = self.store.get_spec(job_id)
         script = spec.effective_script()
         gate = self._gate.exclusive if spec.fault else self._gate.shared
@@ -334,9 +376,19 @@ class Scheduler:
         plans = [self._plans[job_id] for job_id, _ in misses]
         settings = plans[0].settings
         conditions = [p.condition for p in plans]
+        # the coalesced solve is one piece of work shared by every
+        # member: it runs under its own batch trace id, and each
+        # member's artifact filter includes it (linking job -> batch)
+        batch_tid = f"tr-batch-{os.urandom(6).hex()}" if _trace.on else ""
         t0 = time.perf_counter()
         try:
-            with self._gate.shared():
+            with self._gate.shared(), ExitStack() as stack:
+                if batch_tid:
+                    stack.enter_context(_trace.context(trace_id=batch_tid))
+                    stack.enter_context(_trace.span(
+                        "serve.batch", "serve",
+                        jobs=[j for j, _ in misses],
+                        occupancy=len(misses)))
                 results = run_ignition0d_batch(conditions, **settings)
         except Exception as exc:
             # bit-equivalence fallback: the coalesced path failed, run
@@ -380,6 +432,14 @@ class Scheduler:
                                   finished=time.time(), batched=True,
                                   batch_size=occupancy)
             self._plans.pop(job_id, None)
+            member_tid = getattr(record, "trace_id", "")
+            if _trace.on and member_tid:
+                _trace.instant("serve.job_done", "serve",
+                               trace_id=member_tid, job=job_id,
+                               batch_trace_id=batch_tid,
+                               batch_size=occupancy)
+                self._write_trace_artifact(job_id, record,
+                                           extra_ids=(batch_tid,))
             self.registry.counter("serve.jobs_done",
                                   tenant=record.tenant).inc()
             self.registry.counter("serve.batched_jobs",

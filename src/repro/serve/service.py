@@ -50,6 +50,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.analysis.contracts import check_job, coerce_job_params
 from repro.analysis.findings import Severity
 from repro.errors import ReproError, ServeError
+from repro.obs import trace as _trace
 from repro.obs.export import metrics_payload
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.serve import jobs as J
@@ -170,10 +171,17 @@ class SimulationService:
             self.scheduler.enqueue_many([pending])
         return job_id
 
+    @staticmethod
+    def _mint_trace_id() -> str:
+        """A fresh distributed-trace id (stamped on the job record and
+        carried by every span the job causes)."""
+        return f"tr-{os.urandom(6).hex()}"
+
     def _submit_one(self, script: str, *, params, tenant, priority, nprocs,
                     retries, backoff, fault, use_cache,
                     backend="") -> tuple[
                         str, tuple[str, int, BatchPlan | None] | None]:
+        trace_id = self._mint_trace_id()
         overrides = J.canonical_params(params)
         findings: list = []
         errors: list = []
@@ -206,6 +214,7 @@ class SimulationService:
             self.store.transition(
                 record.job_id, (J.QUEUED,), state=J.FAILED, started=now,
                 finished=now, rejected=True, backend=spec.backend,
+                trace_id=trace_id,
                 findings=[f.to_dict() for f in findings],
                 error=(f"admission: {len(errors)} contract error(s); "
                        f"first: {first.code} {first.message}"))
@@ -223,9 +232,12 @@ class SimulationService:
         record = self.store.new_job(spec)
         self.store.transition(record.job_id, (J.QUEUED,), cache_key=key,
                               signature=plan.group_key if plan else "",
-                              backend=spec.backend,
+                              backend=spec.backend, trace_id=trace_id,
                               findings=[f.to_dict() for f in findings])
         self.registry.counter("serve.jobs_submitted", tenant=spec.tenant).inc()
+        if _trace.on:
+            _trace.instant("serve.submit", "serve", trace_id=trace_id,
+                           job=record.job_id, tenant=spec.tenant)
         entry = self.cache.get(key) if key else None
         if entry is not None:
             now = time.time()
@@ -330,8 +342,15 @@ class SimulationService:
             finished = t["done"] + t["failed"]
             t["cache_hit_ratio"] = (t["cache_hits"] / finished
                                     if finished else 0.0)
+        traces = {
+            r.job_id: {"trace_id": r.trace_id,
+                       "artifact": r.trace_path or None}
+            for r in records
+            if r.trace_id and r.state in J.TERMINAL
+        }
         payload = metrics_payload(self.registry, prefix="serve.")
         payload.update({
+            "traces": traces,
             "jobs": {"total": len(records), **by_state},
             "tenants": tenants,
             "cache": {

@@ -1,0 +1,176 @@
+"""The critical-path / wait-attribution analyzer and the obs CLI
+(ISSUE 10 tentpole c + d), on hand-built synthetic traces where the
+right answer is known exactly."""
+
+import json
+
+from repro.obs.aggregate import (
+    collective_groups,
+    component_of,
+    critical_path,
+    format_critical_path,
+    format_wait_attribution,
+    wait_attribution,
+)
+from repro.obs.export import export_chrome_trace, load_chrome_trace
+from repro.obs.trace import Event
+from repro.obs.__main__ import main as obs_main
+
+
+def span(name, cat, ts, dur, rank, **args):
+    return Event("X", name, cat, float(ts), float(dur), rank,
+                 f"rank {rank}", args or None)
+
+
+def _two_rank_trace():
+    """Rank 0 computes 100 us then waits 890 us at a barrier; rank 1 is
+    busy inside ``Slow:solve.step`` for 990 us and arrives last."""
+    return [
+        span("Fast:solve.step", "port", 0, 100, 0),
+        span("mpi.barrier", "mpi", 100, 900, 0, size=2),
+        span("Slow:solve.step", "port", 0, 990, 1),
+        span("mpi.barrier", "mpi", 990, 10, 1, size=2),
+    ]
+
+
+class TestComponentOf:
+    def test_port_span_maps_to_provider(self):
+        assert component_of("Slow:solve.step", "port") == "Slow"
+
+    def test_non_port_span_keeps_its_name(self):
+        assert component_of("mpi.barrier", "mpi") == "mpi.barrier"
+
+
+class TestCollectiveGroups:
+    def test_aligns_by_sequence_index(self):
+        groups = collective_groups(_two_rank_trace())
+        assert len(groups) == 1
+        g = groups[0]
+        assert g["name"] == "mpi.barrier"
+        assert g["entries"] == {0: 100.0, 1: 990.0}
+
+    def test_subcommunicator_collectives_excluded(self):
+        events = _two_rank_trace() + [
+            span("mpi.allreduce", "mpi", 2000, 5, 0, size=1)]
+        groups = collective_groups(events)
+        assert [g["name"] for g in groups] == ["mpi.barrier"]
+
+    def test_alignment_stops_where_names_diverge(self):
+        events = _two_rank_trace() + [
+            span("mpi.bcast", "mpi", 1100, 5, 0, size=2),
+            span("mpi.reduce", "mpi", 1100, 5, 1, size=2)]
+        groups = collective_groups(events)
+        assert [g["name"] for g in groups] == ["mpi.barrier"]
+
+    def test_single_rank_trace_has_no_groups(self):
+        assert collective_groups([
+            span("mpi.barrier", "mpi", 0, 5, 0, size=1)]) == []
+
+
+class TestWaitAttribution:
+    def test_blames_the_last_arriver(self):
+        report = wait_attribution(_two_rank_trace())
+        assert report["nranks"] == 2
+        assert report["collectives"] == 1
+        [g] = report["groups"]
+        assert g["last_rank"] == 1
+        assert g["waits_seconds"][0] == (990 - 100) / 1e6
+        assert g["wait_seconds"] == (990 - 100) / 1e6
+        # the span open on the straggler when rank 0 entered
+        assert g["blame"] == "Slow"
+        assert report["by_component"]["Slow"]["wait_seconds"] == \
+            g["wait_seconds"]
+
+    def test_formats_without_crashing(self):
+        text = format_wait_attribution(
+            wait_attribution(_two_rank_trace()))
+        assert "Slow" in text and "mpi.barrier" in text
+
+
+class TestCriticalPath:
+    def test_path_pivots_to_the_straggler(self):
+        report = critical_path(_two_rank_trace())
+        assert report["nranks"] == 2
+        segs = report["segments"]
+        # chronological: rank 1 is busy until the barrier, then the
+        # barrier's last arrival hands the path to whoever ends last
+        assert segs[0]["rank"] == 1
+        assert segs[0]["t0_us"] == 0.0
+        assert segs[0]["via"] == "(start)"
+        assert segs[-1]["via"] == "mpi.barrier[0]"
+        assert report["path_seconds"] > 0
+        # rank 1's busy time goes to the Slow component
+        busy = segs[0]["busy"]
+        assert busy.get("Slow", 0) > 0
+        assert report["by_component"]["Slow"] > 0
+
+    def test_formats_without_crashing(self):
+        text = format_critical_path(critical_path(_two_rank_trace()))
+        assert "critical path" in text.lower() or "rank" in text
+
+
+class TestChromeRoundTrip:
+    def test_load_inverts_export(self, tmp_path):
+        events = _two_rank_trace()
+        path = export_chrome_trace(str(tmp_path / "t.json"), events)
+        loaded = load_chrome_trace(path)
+        assert len(loaded) == len(events)
+        orig = sorted((e.name, e.ts, e.dur, e.rank) for e in events)
+        back = sorted((e.name, e.ts, e.dur, e.rank) for e in loaded)
+        assert back == orig
+        # args survive (size=2 on the collectives)
+        sizes = [e.args.get("size") for e in loaded
+                 if e.name == "mpi.barrier" and e.args]
+        assert sizes == [2, 2]
+
+    def test_analyzer_agrees_after_round_trip(self, tmp_path):
+        events = _two_rank_trace()
+        path = export_chrome_trace(str(tmp_path / "t.json"), events)
+        loaded = load_chrome_trace(path)
+        assert wait_attribution(loaded)["total_wait_seconds"] == \
+            wait_attribution(events)["total_wait_seconds"]
+
+
+class TestCli:
+    def _trace_file(self, tmp_path, name="trace.json"):
+        return export_chrome_trace(str(tmp_path / name),
+                                   _two_rank_trace())
+
+    def test_critical_path_command(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert obs_main(["critical-path", path]) == 0
+        out = capsys.readouterr().out
+        assert "mpi.barrier" in out and "Slow" in out
+
+    def test_critical_path_json(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert obs_main(["critical-path", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["wait_attribution"]["groups"][0]["blame"] == "Slow"
+        assert doc["critical_path"]["nranks"] == 2
+
+    def test_top_command(self, tmp_path, capsys):
+        path = self._trace_file(tmp_path)
+        assert obs_main(["top", path, "--json"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert "Slow" in table and table["Slow"]["spans"] == 1
+
+    def test_merge_command(self, tmp_path, capsys):
+        a = export_chrome_trace(str(tmp_path / "a.json"),
+                                [e for e in _two_rank_trace()
+                                 if e.rank == 0])
+        b = export_chrome_trace(str(tmp_path / "b.json"),
+                                [e for e in _two_rank_trace()
+                                 if e.rank == 1])
+        out = str(tmp_path / "merged.json")
+        assert obs_main(["merge", out, a, b]) == 0
+        merged = load_chrome_trace(out)
+        assert {e.rank for e in merged} == {0, 1}
+        # the merged file analyzes like the original
+        assert wait_attribution(merged)["collectives"] == 1
+
+    def test_missing_file_is_an_error_not_a_crash(self, tmp_path,
+                                                  capsys):
+        rc = obs_main(["top", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
